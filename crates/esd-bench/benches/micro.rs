@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the components on ESD's critical paths:
+//! fingerprint functions (the core of Figure 17's story), the codecs, the
+//! metadata structures, and short end-to-end scheme runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esd_core::{build_scheme, run_trace, Amt, Efit, EfitPolicy, SchemeKind};
+use esd_crypto::CmeEngine;
+use esd_ecc::{decode_line, encode_line, EccFingerprint};
+use esd_hash::{crc32, crc64, md5, sha1};
+use esd_sim::{NvmmSystem, PcmConfig, Ps, SystemConfig};
+use esd_trace::{generate_trace, AppProfile};
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let line = [0xA7u8; 64];
+    let mut group = c.benchmark_group("fingerprint_64B");
+    group.bench_function("ecc_encode_line", |b| {
+        b.iter(|| encode_line(black_box(&line)))
+    });
+    group.bench_function("ecc_fingerprint", |b| {
+        b.iter(|| EccFingerprint::of_line(black_box(&line)))
+    });
+    group.bench_function("sha1", |b| b.iter(|| sha1(black_box(&line))));
+    group.bench_function("md5", |b| b.iter(|| md5(black_box(&line))));
+    group.bench_function("crc32", |b| b.iter(|| crc32(black_box(&line))));
+    group.bench_function("crc64", |b| b.iter(|| crc64(black_box(&line))));
+    group.finish();
+}
+
+fn bench_ecc_decode(c: &mut Criterion) {
+    let line = [0x3Cu8; 64];
+    let ecc = encode_line(&line);
+    let mut corrupted = line;
+    corrupted[17] ^= 0x20;
+    let mut group = c.benchmark_group("ecc_decode");
+    group.bench_function("clean", |b| {
+        b.iter(|| decode_line(black_box(&line), black_box(ecc)))
+    });
+    group.bench_function("one_bit_corrected", |b| {
+        b.iter(|| decode_line(black_box(&corrupted), black_box(ecc)))
+    });
+    group.finish();
+}
+
+fn bench_cme(c: &mut Criterion) {
+    let mut cme = CmeEngine::new([7u8; 16]);
+    let line = [0x11u8; 64];
+    let cipher = cme.encrypt_line(0x40, &line);
+    let mut group = c.benchmark_group("cme");
+    group.bench_function("encrypt_line", |b| {
+        let mut cme = CmeEngine::new([7u8; 16]);
+        b.iter(|| cme.encrypt_line(black_box(0x40), black_box(&line)))
+    });
+    group.bench_function("decrypt_line", |b| {
+        b.iter(|| cme.decrypt_line(black_box(0x40), black_box(&cipher)))
+    });
+    group.finish();
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata");
+    group.bench_function("efit_lookup_hit", |b| {
+        let mut efit = Efit::new(512 << 10, EfitPolicy::Lrcu);
+        for fp in 0..10_000u64 {
+            efit.insert(fp, fp * 64);
+        }
+        b.iter(|| efit.lookup(black_box(5_000)))
+    });
+    group.bench_function("efit_insert_with_eviction", |b| {
+        let mut efit = Efit::new(14 * 1024, EfitPolicy::Lrcu); // 1024 entries
+        let mut fp = 0u64;
+        b.iter(|| {
+            fp += 1;
+            efit.insert(black_box(fp), fp * 64)
+        })
+    });
+    group.bench_function("amt_translate_cached", |b| {
+        let mut nvmm = NvmmSystem::new(PcmConfig::default());
+        let mut amt = Amt::new(512 << 10);
+        for i in 0..1_000u64 {
+            amt.update(Ps::ZERO, i * 64, i * 64, &mut nvmm);
+        }
+        b.iter(|| amt.translate(Ps::ZERO, black_box(512 * 64), &mut nvmm))
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profile = AppProfile::by_name("gcc").expect("paper workload");
+    c.bench_function("generate_trace_10k", |b| {
+        b.iter(|| generate_trace(black_box(&profile), 42, 10_000))
+    });
+}
+
+fn bench_schemes_end_to_end(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let trace = generate_trace(&AppProfile::demo(), 42, 5_000);
+    let mut group = c.benchmark_group("scheme_5k_accesses");
+    group.sample_size(10);
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut scheme = build_scheme(kind, &config);
+                run_trace(scheme.as_mut(), black_box(&trace), &config, false).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprints,
+    bench_ecc_decode,
+    bench_cme,
+    bench_metadata,
+    bench_trace_generation,
+    bench_schemes_end_to_end
+);
+criterion_main!(benches);

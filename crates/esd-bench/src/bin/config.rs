@@ -1,0 +1,9 @@
+//! Table I: the system configuration used by every experiment.
+
+use esd_sim::SystemConfig;
+
+fn main() {
+    println!("=== Table I: system configuration ===");
+    println!();
+    print!("{}", SystemConfig::default().to_table());
+}

@@ -1,0 +1,43 @@
+//! Figure 2: performance of the deduplication schemes normalized to the
+//! Baseline in the worst case (leela — low duplicate rate — on the left,
+//! lbm — write-intensive — on the right).
+//!
+//! Paper shape: naive inline deduplication (Dedup_SHA1) *degrades*
+//! performance substantially on these workloads; that observation motivates
+//! ESD.
+
+use esd_bench::{format_row, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+use esd_trace::AppProfile;
+
+fn main() {
+    let apps: Vec<AppProfile> = ["leela", "lbm"]
+        .iter()
+        .map(|n| AppProfile::by_name(n).expect("paper workload"))
+        .collect();
+    let sweep = Sweep::new(apps);
+    print_figure_header(
+        "Figure 2",
+        "Worst-case performance normalized to Baseline (IPC ratio)",
+        &sweep,
+    );
+    let rows = sweep.run(&SchemeKind::ALL);
+    println!(
+        "{}",
+        format_row(
+            "app",
+            &["Dedup_SHA1".into(), "DeWrite".into(), "ESD".into()]
+        )
+    );
+    for row in &rows {
+        let base = row.report(SchemeKind::Baseline).expect("baseline");
+        let cells: Vec<String> = [SchemeKind::DedupSha1, SchemeKind::DeWrite, SchemeKind::Esd]
+            .iter()
+            .map(|&kind| {
+                let n = row.report(kind).expect("scheme").normalized_to(base);
+                format!("{:.2}", n.ipc_ratio)
+            })
+            .collect();
+        println!("{}", format_row(&row.app.name, &cells));
+    }
+}

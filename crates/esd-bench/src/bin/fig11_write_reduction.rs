@@ -1,0 +1,17 @@
+//! Figure 11: NVMM write reduction by each deduplication scheme,
+//! normalized to the Baseline's write count.
+//!
+//! Paper shape: ESD eliminates 47.8% of cache-line writes on average (up to
+//! 99.9% for deepsjeng/roms), about 18% fewer than the full-deduplication
+//! schemes — the deliberate cost of selectivity.
+
+use esd_bench::{figures, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+
+fn main() {
+    let sweep = Sweep::default();
+    print_figure_header("Figure 11", "Write reduction vs Baseline", &sweep);
+    let rows = sweep.run(&SchemeKind::ALL);
+    figures::print_fig11(&rows);
+    figures::print_wear(&rows);
+}

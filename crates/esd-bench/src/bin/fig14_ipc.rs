@@ -1,0 +1,14 @@
+//! Figure 14: IPC improvements normalized to the Baseline.
+//!
+//! Paper shape: ESD improves IPC for all applications (up to 2.4x);
+//! Dedup_SHA1 decreases IPC for most applications.
+
+use esd_bench::{figures, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+
+fn main() {
+    let sweep = Sweep::default();
+    print_figure_header("Figure 14", "IPC normalized to the Baseline", &sweep);
+    let rows = sweep.run(&SchemeKind::ALL);
+    figures::print_fig14(&rows);
+}

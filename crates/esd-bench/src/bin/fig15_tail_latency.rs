@@ -1,0 +1,27 @@
+//! Figure 15: CDF of write latency for gcc, leela, bodytrack, dedup,
+//! facesim, fluidanimate, wrf and x264.
+//!
+//! Paper shape: ESD has the shortest tails of the three dedup schemes —
+//! it removes both the hash computation and the fingerprint NVMM lookups
+//! from the critical write path.
+//!
+//! Pass an application name as the first argument to dump its full CDF
+//! series (for plotting) instead of the percentile table.
+
+use esd_bench::{figures, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+use esd_trace::AppProfile;
+
+fn main() {
+    let apps: Vec<AppProfile> = figures::CDF_APPS
+        .iter()
+        .map(|n| AppProfile::by_name(n).expect("paper workload"))
+        .collect();
+    let sweep = Sweep::new(apps);
+    print_figure_header("Figure 15", "CDF of write latency", &sweep);
+    let rows = sweep.run(&SchemeKind::ALL);
+    match std::env::args().nth(1) {
+        Some(app) => figures::print_full_cdf(&rows, &app),
+        None => figures::print_fig15(&rows),
+    }
+}

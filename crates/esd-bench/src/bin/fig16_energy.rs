@@ -1,0 +1,15 @@
+//! Figure 16: energy consumption normalized to the Baseline.
+//!
+//! Paper shape: ESD reduces energy for all 20 applications (up to 96.3%
+//! vs Baseline on the most duplicate-heavy workloads); Dedup_SHA1's hash
+//! energy eats most of its deduplication savings.
+
+use esd_bench::{figures, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+
+fn main() {
+    let sweep = Sweep::default();
+    print_figure_header("Figure 16", "Energy normalized to the Baseline", &sweep);
+    let rows = sweep.run(&SchemeKind::ALL);
+    figures::print_fig16(&rows);
+}

@@ -1,0 +1,17 @@
+//! Figure 17: decomposition of critical-write-path latency into
+//! fingerprint computation, fingerprint NVMM lookup, compare reads and
+//! unique-line writes.
+//!
+//! Paper shape: ~80% of Dedup_SHA1's write time is hash computation;
+//! 12%/23% of Dedup_SHA1/DeWrite time is fingerprint NVMM lookups; ESD's
+//! write time is dominated by the actual reads and writes of cache lines.
+
+use esd_bench::{figures, print_figure_header, Sweep};
+use esd_core::SchemeKind;
+
+fn main() {
+    let sweep = Sweep::default();
+    print_figure_header("Figure 17", "Write latency profile", &sweep);
+    let rows = sweep.run(&SchemeKind::ALL);
+    figures::print_fig17(&rows);
+}

@@ -1,0 +1,187 @@
+#![warn(missing_docs)]
+
+//! The benchmark harness that regenerates every table and figure of the
+//! ESD paper (HPCA 2023).
+//!
+//! Each `fig*` binary in `src/bin/` replays the 20 SPEC CPU 2017 / PARSEC
+//! workload profiles through the four schemes (Baseline, Dedup_SHA1,
+//! DeWrite, ESD) and prints the corresponding figure's rows or series. This
+//! library holds the shared sweep/formatting machinery.
+//!
+//! Run length and seed can be overridden with the `ESD_ACCESSES` and
+//! `ESD_SEED` environment variables.
+
+pub mod figures;
+
+use crossbeam::thread;
+use esd_core::{build_scheme, run_trace, RunReport, SchemeKind};
+use esd_sim::SystemConfig;
+use esd_trace::{generate_trace, AppProfile};
+
+/// Default accesses replayed per workload (overridable via `ESD_ACCESSES`).
+pub const DEFAULT_ACCESSES: usize = 1_000_000;
+/// Default RNG seed (overridable via `ESD_SEED`).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Sweep parameters shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Workloads to replay.
+    pub apps: Vec<AppProfile>,
+    /// Accesses per workload.
+    pub accesses: usize,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// System configuration (Table I defaults).
+    pub config: SystemConfig,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new(AppProfile::all())
+    }
+}
+
+impl Sweep {
+    /// Creates a sweep over the given workloads with environment-tunable
+    /// length and seed.
+    #[must_use]
+    pub fn new(apps: Vec<AppProfile>) -> Self {
+        Sweep {
+            apps,
+            accesses: env_usize("ESD_ACCESSES", DEFAULT_ACCESSES),
+            seed: env_u64("ESD_SEED", DEFAULT_SEED),
+            config: SystemConfig::default(),
+        }
+    }
+
+    /// Replays every workload through every scheme, in parallel across
+    /// workloads. Returns one row per workload, with reports in `schemes`
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a verified run detects data corruption (which would be a
+    /// scheme bug, not a workload property).
+    #[must_use]
+    pub fn run(&self, schemes: &[SchemeKind]) -> Vec<AppRow> {
+        let mut rows: Vec<Option<AppRow>> = (0..self.apps.len()).map(|_| None).collect();
+        thread::scope(|scope| {
+            for (slot, app) in rows.iter_mut().zip(self.apps.iter()) {
+                let config = self.config;
+                let seed = self.seed;
+                let accesses = self.accesses;
+                scope.spawn(move |_| {
+                    let trace = generate_trace(app, seed, accesses);
+                    let reports = schemes
+                        .iter()
+                        .map(|&kind| {
+                            let mut scheme = build_scheme(kind, &config);
+                            run_trace(scheme.as_mut(), &trace, &config, true)
+                                .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"))
+                        })
+                        .collect();
+                    *slot = Some(AppRow {
+                        app: app.clone(),
+                        reports,
+                    });
+                });
+            }
+        })
+        .expect("sweep workers must not panic");
+        rows.into_iter().map(|r| r.expect("row filled")).collect()
+    }
+}
+
+/// One workload's reports across the swept schemes.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// The workload.
+    pub app: AppProfile,
+    /// One report per swept scheme, in sweep order.
+    pub reports: Vec<RunReport>,
+}
+
+impl AppRow {
+    /// The report for a given scheme, if it was part of the sweep.
+    #[must_use]
+    pub fn report(&self, kind: SchemeKind) -> Option<&RunReport> {
+        self.reports.iter().find(|r| r.scheme == kind)
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a figure header in a uniform style.
+pub fn print_figure_header(id: &str, caption: &str, sweep: &Sweep) {
+    println!("=== {id}: {caption} ===");
+    println!(
+        "    ({} workloads x {} accesses, seed {})",
+        sweep.apps.len(),
+        sweep.accesses,
+        sweep.seed
+    );
+    println!();
+}
+
+/// Formats a table row: a left-aligned label plus fixed-width numeric cells.
+#[must_use]
+pub fn format_row(label: &str, cells: &[String]) -> String {
+    let mut out = format!("{label:<14}");
+    for cell in cells {
+        out.push_str(&format!("{cell:>12}"));
+    }
+    out
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_all_schemes_for_each_app() {
+        let mut sweep = Sweep::new(vec![AppProfile::demo()]);
+        sweep.accesses = 1_000;
+        let rows = sweep.run(&SchemeKind::ALL);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].reports.len(), 4);
+        assert!(rows[0].report(SchemeKind::Esd).is_some());
+        assert!(rows[0].report(SchemeKind::Baseline).is_some());
+    }
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_row_is_aligned() {
+        let row = format_row("lbm", &["1.00".into(), "2.00".into()]);
+        assert!(row.starts_with("lbm"));
+        assert!(row.len() >= 14 + 24);
+    }
+}

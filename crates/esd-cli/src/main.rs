@@ -1,0 +1,259 @@
+//! `esd-cli` — drive the ESD encrypted-NVMM deduplication simulator from
+//! the command line.
+//!
+//! ```text
+//! esd-cli run      --app lbm --scheme esd [--accesses N] [--seed N]
+//! esd-cli compare  --app gcc [--accesses N] [--seed N]
+//! esd-cli generate --app gcc --out trace.esdt [--format bin|text] [--accesses N]
+//! esd-cli analyze  <trace-file>
+//! esd-cli replay   <trace-file> --scheme esd
+//! esd-cli apps
+//! esd-cli config
+//! ```
+
+mod args;
+
+use std::fs;
+use std::process::ExitCode;
+
+use args::Args;
+use esd_core::{build_scheme, run_trace, RunReport, SchemeKind};
+use esd_sim::SystemConfig;
+use esd_trace::{
+    decode_trace, duplicate_rate, encode_trace, generate_trace, parse_trace_text,
+    refcount_buckets, render_trace_text, zero_line_rate, AppProfile, Trace,
+};
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_owned());
+    let rest: Vec<String> = argv.collect();
+    match dispatch(&command, rest) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     esd-cli run      --app <name> --scheme <scheme> [--accesses N] [--seed N]\n  \
+     esd-cli compare  --app <name> [--accesses N] [--seed N] [--extended true]\n  \
+     esd-cli generate --app <name> --out <file> [--format bin|text] [--accesses N] [--seed N]\n  \
+     esd-cli analyze  <trace-file>\n  \
+     esd-cli replay   <trace-file> --scheme <scheme>\n  \
+     esd-cli apps\n  \
+     esd-cli config\n\n\
+     schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify"
+}
+
+fn dispatch(command: &str, rest: Vec<String>) -> Result<(), String> {
+    match command {
+        "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "replay" => cmd_replay(rest),
+        "apps" => {
+            cmd_apps();
+            Ok(())
+        }
+        "config" => {
+            print!("{}", SystemConfig::default().to_table());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn scheme_by_name(name: &str) -> Result<SchemeKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "baseline" => SchemeKind::Baseline,
+        "sha1" | "dedup_sha1" => SchemeKind::DedupSha1,
+        "md5" | "dedup_md5" => SchemeKind::DedupMd5,
+        "pde" => SchemeKind::Pde,
+        "dewrite" => SchemeKind::DeWrite,
+        "esd" => SchemeKind::Esd,
+        "esd-full" => SchemeKind::EsdFull,
+        "esd-noverify" => SchemeKind::EsdNoVerify,
+        other => return Err(format!("unknown scheme {other:?}")),
+    })
+}
+
+fn app_by_name(name: &str) -> Result<AppProfile, String> {
+    if name == "demo" {
+        return Ok(AppProfile::demo());
+    }
+    AppProfile::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name:?} (see `esd-cli apps`)"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let bytes = fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if let Ok(trace) = decode_trace(&bytes) {
+        return Ok(trace);
+    }
+    let text = String::from_utf8(bytes).map_err(|_| {
+        format!("{path} is neither a binary ESD trace nor UTF-8 text")
+    })?;
+    let name = path.rsplit('/').next().unwrap_or(path);
+    parse_trace_text(name, &text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run_one(
+    kind: SchemeKind,
+    trace: &Trace,
+    config: &SystemConfig,
+) -> Result<RunReport, String> {
+    let mut scheme = build_scheme(kind, config);
+    // The no-verify ablation aliases colliding lines by design.
+    let verify = kind != SchemeKind::EsdNoVerify;
+    run_trace(scheme.as_mut(), trace, config, verify).map_err(|e| e.to_string())
+}
+
+fn cmd_run(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest, &["app", "scheme", "accesses", "seed"])
+        .map_err(|e| e.to_string())?;
+    let app = app_by_name(args.get_or("app", "demo"))?;
+    let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
+    let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
+    let config = SystemConfig::default();
+    let trace = generate_trace(&app, seed, accesses);
+    let report = run_one(kind, &trace, &config)?;
+    print!("{}", report.summary());
+    Ok(())
+}
+
+fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest, &["app", "accesses", "seed", "extended"])
+        .map_err(|e| e.to_string())?;
+    let app = app_by_name(args.get_or("app", "demo"))?;
+    let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
+    let extended: bool = args.get_parsed_or("extended", false).map_err(|e| e.to_string())?;
+    let config = SystemConfig::default();
+    let trace = generate_trace(&app, seed, accesses);
+
+    let schemes: &[SchemeKind] = if extended {
+        &SchemeKind::EXTENDED
+    } else {
+        &SchemeKind::ALL
+    };
+    println!(
+        "{:<13} {:>10} {:>12} {:>12} {:>7} {:>12}",
+        "scheme", "nvmm_wr", "write_avg", "read_avg", "ipc", "energy"
+    );
+    let mut baseline: Option<RunReport> = None;
+    for &kind in schemes {
+        let report = run_one(kind, &trace, &config)?;
+        println!(
+            "{:<13} {:>10} {:>12} {:>12} {:>7.2} {:>12}",
+            kind.name(),
+            report.nvmm_data_writes(),
+            report.avg_write_latency().to_string(),
+            report.avg_read_latency().to_string(),
+            report.ipc,
+            report.total_energy().to_string(),
+        );
+        if kind == SchemeKind::Baseline {
+            baseline = Some(report);
+        }
+    }
+    if let Some(base) = baseline {
+        println!();
+        for &kind in schemes.iter().filter(|&&k| k != SchemeKind::Baseline) {
+            let report = run_one(kind, &trace, &config)?;
+            let n = report.normalized_to(&base);
+            println!(
+                "{:<13} write {:>5.2}x  read {:>5.2}x  ipc {:>5.2}x  energy {:>5.2}",
+                kind.name(),
+                n.write_speedup,
+                n.read_speedup,
+                n.ipc_ratio,
+                n.energy_ratio
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest, &["app", "out", "format", "accesses", "seed"])
+        .map_err(|e| e.to_string())?;
+    let app = app_by_name(args.get_or("app", "demo"))?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| "missing required --out <file>".to_owned())?;
+    let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
+    let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
+    let trace = generate_trace(&app, seed, accesses);
+    match args.get_or("format", "bin") {
+        "bin" => fs::write(out, encode_trace(&trace)).map_err(|e| e.to_string())?,
+        "text" => fs::write(out, render_trace_text(&trace)).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format {other:?} (bin|text)")),
+    }
+    println!("wrote {} records to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_analyze(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest, &[]).map_err(|e| e.to_string())?;
+    let path = args
+        .required_positional(0, "<trace-file>")
+        .map_err(|e| e.to_string())?;
+    let trace = load_trace(path)?;
+    println!("trace {} ({} records)", trace.name, trace.len());
+    println!("  reads {}, writes {}", trace.read_count(), trace.write_count());
+    println!("  duplicate rate {:.1}%", duplicate_rate(&trace) * 100.0);
+    println!("  zero lines     {:.1}%", zero_line_rate(&trace) * 100.0);
+    let buckets = refcount_buckets(&trace);
+    println!("  unique contents {}", buckets.unique_contents());
+    let cf = buckets.content_fractions();
+    let vf = buckets.volume_fractions();
+    for (i, label) in ["num1", "num10", "num100", "num1000", "num1000+"].iter().enumerate() {
+        println!(
+            "  {label:<9} {:>7.2}% of contents, {:>6.1}% of volume",
+            cf[i] * 100.0,
+            vf[i] * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(rest, &["scheme"]).map_err(|e| e.to_string())?;
+    let path = args
+        .required_positional(0, "<trace-file>")
+        .map_err(|e| e.to_string())?;
+    let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
+    let trace = load_trace(path)?;
+    let config = SystemConfig::default();
+    let report = run_one(kind, &trace, &config)?;
+    print!("{}", report.summary());
+    Ok(())
+}
+
+fn cmd_apps() {
+    println!("{:<14} {:<14} {:>8} {:>7} {:>8} {:>7}", "name", "suite", "dup", "zero", "reads", "gap");
+    for app in AppProfile::all() {
+        println!(
+            "{:<14} {:<14} {:>7.1}% {:>6.1}% {:>7.1}% {:>7}",
+            app.name,
+            app.suite.to_string(),
+            app.dup_rate * 100.0,
+            app.zero_fraction * 100.0,
+            app.read_fraction * 100.0,
+            app.mean_instruction_gap
+        );
+    }
+    println!("{:<14} {:<14} {:>7.1}% (synthetic smoke-test profile)", "demo", "-", 60.0);
+}

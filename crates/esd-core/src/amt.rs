@@ -1,0 +1,264 @@
+//! The Address Mapping Table (AMT).
+//!
+//! The AMT records the many-to-one mapping from a logical line address
+//! (`initAddr`) to the physical line that holds its (deduplicated) content.
+//! Per the paper (§III-B) the full table lives in NVMM while hot entries are
+//! buffered in a memory-controller SRAM cache; a miss therefore costs one
+//! metadata read from NVMM on the access path, and dirty evictions cost a
+//! metadata write.
+
+use esd_sim::{CacheStats, LruCache, NvmmSystem, Ps};
+
+/// Bytes per AMT entry: `initAddr` (4) + `Addr_base` (4) + `Addr_offsets`
+/// (1), per the paper's Figure 7.
+pub const AMT_ENTRY_BYTES: usize = 9;
+
+/// Base address of the AMT's NVMM-resident region (far above data lines).
+const AMT_NVMM_BASE: u64 = 1 << 44;
+
+/// AMT entries per 64-byte NVMM line.
+const ENTRIES_PER_LINE: u64 = (64 / AMT_ENTRY_BYTES) as u64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CachedMapping {
+    physical: u64,
+    dirty: bool,
+}
+
+/// The address-mapping table with its SRAM hot-entry cache.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::Amt;
+/// use esd_sim::{NvmmSystem, PcmConfig, Ps};
+///
+/// let mut nvmm = NvmmSystem::new(PcmConfig::default());
+/// let mut amt = Amt::new(512 << 10);
+/// let t = amt.update(Ps::ZERO, 0x40, 0x1000, &mut nvmm);
+/// let (phys, _t) = amt.translate(t, 0x40, &mut nvmm);
+/// assert_eq!(phys, Some(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Amt {
+    /// Authoritative table ("in NVMM"): logical -> physical.
+    table: std::collections::HashMap<u64, u64>,
+    /// Hot entries buffered in controller SRAM.
+    cache: LruCache<u64, CachedMapping>,
+    /// SRAM probe latency.
+    sram_latency: Ps,
+    /// NVMM metadata traffic counters.
+    nvmm_fills: u64,
+    nvmm_writebacks: u64,
+}
+
+impl Amt {
+    /// Creates an AMT whose SRAM cache holds `cache_bytes` of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_bytes` holds fewer than one entry.
+    #[must_use]
+    pub fn new(cache_bytes: u64) -> Self {
+        Amt::with_sram_latency(cache_bytes, Ps::from_ns(2))
+    }
+
+    /// Creates an AMT with an explicit SRAM probe latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_bytes` holds fewer than one entry.
+    #[must_use]
+    pub fn with_sram_latency(cache_bytes: u64, sram_latency: Ps) -> Self {
+        let entries = (cache_bytes as usize / AMT_ENTRY_BYTES).max(1);
+        Amt {
+            table: std::collections::HashMap::new(),
+            cache: LruCache::new(entries),
+            sram_latency,
+            nvmm_fills: 0,
+            nvmm_writebacks: 0,
+        }
+    }
+
+    /// SRAM cache hit/miss statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached (SRAM) entry, as a power-loss event would. The
+    /// authoritative NVMM-resident table survives — dirty entries are
+    /// assumed flushed by eADR/battery backing, per the paper's §III-E.
+    pub fn drop_sram_cache(&mut self) {
+        let keys: Vec<u64> = self.cache.iter().map(|(k, _)| *k).collect();
+        for key in keys {
+            self.cache.remove(&key);
+        }
+    }
+
+    /// Number of mappings in the authoritative table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// NVMM-resident footprint of the full table, in bytes.
+    #[must_use]
+    pub fn nvmm_bytes(&self) -> u64 {
+        (self.table.len() * AMT_ENTRY_BYTES) as u64
+    }
+
+    /// Metadata fills (misses served from NVMM) and write-backs so far.
+    #[must_use]
+    pub fn nvmm_traffic(&self) -> (u64, u64) {
+        (self.nvmm_fills, self.nvmm_writebacks)
+    }
+
+    /// Current physical mapping without charging any time (test/inspection).
+    #[must_use]
+    pub fn peek(&self, logical: u64) -> Option<u64> {
+        self.table.get(&logical).copied()
+    }
+
+    /// Translates a logical address, charging SRAM probe time and — on a
+    /// cache miss for a mapped address — one NVMM metadata read.
+    ///
+    /// Returns the physical address (or `None` for never-mapped logicals)
+    /// and the time at which the translation completed.
+    pub fn translate(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        nvmm: &mut NvmmSystem,
+    ) -> (Option<u64>, Ps) {
+        let mut t = now + self.sram_latency;
+        if let Some(cached) = self.cache.get(&logical) {
+            return (Some(cached.physical), t);
+        }
+        match self.table.get(&logical).copied() {
+            Some(physical) => {
+                // Miss: fetch the entry's NVMM metadata line.
+                let completion = nvmm.metadata_read(t, Self::meta_line_of(logical));
+                self.nvmm_fills += 1;
+                t = completion.finish;
+                self.fill(logical, physical, false, t, nvmm);
+                (Some(physical), t)
+            }
+            None => (None, t),
+        }
+    }
+
+    /// Installs or replaces the mapping for `logical`, charging SRAM time;
+    /// dirty evictions charge an asynchronous NVMM metadata write.
+    ///
+    /// Returns the time at which the update is visible.
+    pub fn update(&mut self, now: Ps, logical: u64, physical: u64, nvmm: &mut NvmmSystem) -> Ps {
+        let t = now + self.sram_latency;
+        self.table.insert(logical, physical);
+        self.fill(logical, physical, true, t, nvmm);
+        t
+    }
+
+    fn fill(&mut self, logical: u64, physical: u64, dirty: bool, t: Ps, nvmm: &mut NvmmSystem) {
+        if let Some((victim_logical, victim)) =
+            self.cache.insert(logical, CachedMapping { physical, dirty })
+        {
+            // A re-insert of the same key returns the old value; only true
+            // evictions of *other* dirty entries spill to NVMM.
+            if victim_logical != logical && victim.dirty {
+                nvmm.metadata_write(t, Self::meta_line_of(victim_logical));
+                self.nvmm_writebacks += 1;
+            }
+        }
+    }
+
+    /// The NVMM metadata line that stores a logical address's AMT entry.
+    fn meta_line_of(logical: u64) -> u64 {
+        AMT_NVMM_BASE + (logical / 64 / ENTRIES_PER_LINE) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_sim::PcmConfig;
+
+    fn nvmm() -> NvmmSystem {
+        NvmmSystem::new(PcmConfig::default())
+    }
+
+    #[test]
+    fn unmapped_translation_is_fast_none() {
+        let mut amt = Amt::new(1024);
+        let mut mem = nvmm();
+        let (phys, t) = amt.translate(Ps::ZERO, 0x40, &mut mem);
+        assert_eq!(phys, None);
+        assert_eq!(t, Ps::from_ns(2));
+        assert_eq!(mem.stats().metadata.reads, 0);
+    }
+
+    #[test]
+    fn cached_translation_costs_only_sram() {
+        let mut amt = Amt::new(1024);
+        let mut mem = nvmm();
+        let t = amt.update(Ps::ZERO, 0x40, 0x1000, &mut mem);
+        let (phys, t2) = amt.translate(t, 0x40, &mut mem);
+        assert_eq!(phys, Some(0x1000));
+        assert_eq!(t2, t + Ps::from_ns(2));
+        assert_eq!(mem.stats().metadata.reads, 0);
+    }
+
+    #[test]
+    fn cold_translation_charges_nvmm_read() {
+        // Cache of exactly one entry: updating a second logical evicts the
+        // first, so translating the first again must go to NVMM.
+        let mut amt = Amt::new(AMT_ENTRY_BYTES as u64);
+        let mut mem = nvmm();
+        amt.update(Ps::ZERO, 0x40, 0x1000, &mut mem);
+        amt.update(Ps::ZERO, 0x80, 0x2000, &mut mem);
+        let before = mem.stats().metadata.reads;
+        let (phys, t) = amt.translate(Ps::ZERO, 0x40, &mut mem);
+        assert_eq!(phys, Some(0x1000));
+        assert_eq!(mem.stats().metadata.reads, before + 1);
+        assert!(t >= Ps::from_ns(75), "NVMM fill dominates");
+        assert_eq!(amt.nvmm_traffic().0, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut amt = Amt::new(AMT_ENTRY_BYTES as u64); // one entry
+        let mut mem = nvmm();
+        amt.update(Ps::ZERO, 0x40, 0x1000, &mut mem); // dirty
+        amt.update(Ps::ZERO, 0x80, 0x2000, &mut mem); // evicts dirty 0x40
+        assert_eq!(mem.stats().metadata.writes, 1);
+        assert_eq!(amt.nvmm_traffic().1, 1);
+    }
+
+    #[test]
+    fn remap_overwrites_previous_mapping() {
+        let mut amt = Amt::new(1024);
+        let mut mem = nvmm();
+        amt.update(Ps::ZERO, 0x40, 0x1000, &mut mem);
+        amt.update(Ps::ZERO, 0x40, 0x3000, &mut mem);
+        assert_eq!(amt.peek(0x40), Some(0x3000));
+        assert_eq!(amt.len(), 1);
+        assert_eq!(mem.stats().metadata.writes, 0, "self-replacement is not an eviction");
+    }
+
+    #[test]
+    fn footprint_grows_with_mappings() {
+        let mut amt = Amt::new(1024);
+        let mut mem = nvmm();
+        for i in 0..10u64 {
+            amt.update(Ps::ZERO, i * 64, i * 64, &mut mem);
+        }
+        assert_eq!(amt.nvmm_bytes(), 90);
+        assert!(!amt.is_empty());
+    }
+}

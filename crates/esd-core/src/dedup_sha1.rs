@@ -1,0 +1,231 @@
+//! Dedup_SHA1: traditional full deduplication with SHA-1 fingerprints.
+//!
+//! Every evicted line is hashed with SHA-1 (321 ns on the critical path),
+//! the full fingerprint index lives in NVMM with a hot slice in SRAM, and
+//! fingerprint equality is trusted without a verify read (the classic
+//! hash-collision data-loss risk the paper notes in §III-E).
+
+use esd_hash::FingerprintKind;
+use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
+use esd_trace::CacheLine;
+
+use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::scheme::{
+    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+};
+
+/// Bytes per stored SHA-1 index entry: 20 B digest + 5 B physical address +
+/// 4 B reference count.
+pub const SHA1_ENTRY_BYTES: usize = 29;
+
+/// The SHA-1 full-deduplication baseline.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{DedupScheme, DedupSha1};
+/// use esd_sim::{Ps, SystemConfig};
+/// use esd_trace::CacheLine;
+///
+/// let mut scheme = DedupSha1::new(&SystemConfig::default());
+/// let first = scheme.write(Ps::ZERO, 0x40, CacheLine::from_fill(7));
+/// let second = scheme.write(first.latency, 0x80, CacheLine::from_fill(7));
+/// assert!(!first.deduplicated);
+/// assert!(second.deduplicated);
+/// ```
+#[derive(Debug)]
+pub struct DedupSha1 {
+    core: Core,
+    store: FingerprintStore,
+}
+
+impl DedupSha1 {
+    /// Creates the scheme with the configured fingerprint-cache size.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        DedupSha1 {
+            core: Core::new(config, [0x51; 16]),
+            store: FingerprintStore::new(
+                config.controller.fingerprint_cache_bytes,
+                SHA1_ENTRY_BYTES,
+            ),
+        }
+    }
+}
+
+impl DedupScheme for DedupSha1 {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DedupSha1
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        let core = &mut self.core;
+        core.stats.writes_received += 1;
+
+        // SHA-1 on the critical path, for every line.
+        let cost = FingerprintKind::Sha1.cost();
+        let fp = FingerprintKind::Sha1
+            .compute_key(line.as_bytes())
+            .expect("sha1 computes a key");
+        core.stats.fingerprint_computations += 1;
+        core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
+        let t = now + Ps::from_ns(cost.latency_ns);
+        core.breakdown.fingerprint_compute += Ps::from_ns(cost.latency_ns);
+
+        // Fingerprint lookup: SRAM cache, then the NVMM-resident store.
+        let lookup = self.store.lookup(t, fp, &mut core.nvmm);
+        if lookup.source != LookupSource::Cache {
+            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        }
+        let t = lookup.done;
+
+        match lookup.physical {
+            Some(physical) => {
+                // Full dedup trusts SHA-1 equality: no verify read.
+                core.stats.writes_deduplicated += 1;
+                match lookup.source {
+                    LookupSource::Cache => core.stats.dedup_cache_filtered += 1,
+                    _ => core.stats.dedup_nvmm_filtered += 1,
+                }
+                let done = core.remap_to(t, logical, physical, &mut |_| {});
+                WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                }
+            }
+            None => {
+                let before_write = t;
+                let (done, finish, physical) =
+                    core.write_unique(t, logical, &line, false, &mut |_| {});
+                // Full deduplication never reclaims: the index entry pins
+                // its line in NVMM forever (the space cost the paper's
+                // Figure 19 charges these schemes for).
+                core.alloc.incref(physical);
+                self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.breakdown.unique_write += finish.saturating_sub(before_write);
+                WriteResult {
+                    processing_done: done,
+                    device_finish: Some(finish),
+                    latency: finish.saturating_sub(now),
+                    deduplicated: false,
+                }
+            }
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            nvmm_bytes: self.store.nvmm_bytes() + self.core.amt.nvmm_bytes(),
+            sram_bytes: 0,
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.store.cache_stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> DedupSha1 {
+        DedupSha1::new(&SystemConfig::default())
+    }
+
+    #[test]
+    fn duplicate_content_is_eliminated() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x11);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(w1.latency, 0x40, line);
+        let w3 = s.write(w2.latency * 2, 0x80, line);
+        assert!(!w1.deduplicated);
+        assert!(w2.deduplicated && w3.deduplicated);
+        assert_eq!(s.nvmm().stats().data.writes, 1, "one stored copy");
+        // Both logical addresses read back the same content.
+        assert_eq!(s.read(Ps::from_us(1), 0x40).data, line);
+        assert_eq!(s.read(Ps::from_us(2), 0x80).data, line);
+    }
+
+    #[test]
+    fn every_write_pays_sha1_latency() {
+        let mut s = scheme();
+        s.write(Ps::ZERO, 0x00, CacheLine::from_fill(1));
+        s.write(Ps::ZERO, 0x40, CacheLine::from_fill(2));
+        assert_eq!(s.stats().fingerprint_computations, 2);
+        assert!(s.breakdown().fingerprint_compute >= Ps::from_ns(642));
+    }
+
+    #[test]
+    fn dedup_write_latency_beats_unique_write_latency() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(9);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(Ps::from_us(1), 0x40, line);
+        assert!(w2.latency < w1.latency, "dedup skips the 150ns device write");
+    }
+
+    #[test]
+    fn cache_vs_nvmm_filter_classification() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(5);
+        s.write(Ps::ZERO, 0x00, line);
+        s.write(Ps::ZERO, 0x40, line); // cache hit
+        assert_eq!(s.stats().dedup_cache_filtered, 1);
+        assert_eq!(s.stats().dedup_nvmm_filtered, 0);
+    }
+
+    #[test]
+    fn overwritten_content_stays_resurrectable() {
+        // Full deduplication never reclaims: even after every logical
+        // reference to content `a` is overwritten, its fingerprint (and the
+        // stored line it pins) remain in NVMM, so a later write of `a`
+        // deduplicates against the old copy — the paper's design, and the
+        // reason its metadata/space overhead grows without bound.
+        let mut s = scheme();
+        let a = CacheLine::from_fill(1);
+        let b = CacheLine::from_fill(2);
+        s.write(Ps::ZERO, 0x00, a);
+        s.write(Ps::ZERO, 0x00, b); // overwrites; `a` now has no logical refs
+        let w = s.write(Ps::from_us(1), 0x40, a);
+        assert!(w.deduplicated, "fingerprint store still knows content `a`");
+        assert_eq!(s.read(Ps::from_us(2), 0x00).data, b);
+        assert_eq!(s.read(Ps::from_us(3), 0x40).data, a);
+    }
+
+    #[test]
+    fn metadata_footprint_counts_store_and_amt() {
+        let mut s = scheme();
+        s.write(Ps::ZERO, 0x00, CacheLine::from_fill(1));
+        let fp = s.metadata_footprint();
+        assert_eq!(fp.nvmm_bytes, SHA1_ENTRY_BYTES as u64 + 9);
+        assert_eq!(fp.sram_bytes, 0);
+    }
+}

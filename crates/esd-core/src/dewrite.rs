@@ -1,0 +1,278 @@
+//! DeWrite (MICRO'18): prediction-driven full deduplication with
+//! lightweight CRC fingerprints and parallelized encryption.
+//!
+//! DeWrite predicts whether each incoming line is a duplicate:
+//!
+//! * predicted **non-duplicate** → the CRC and counter-mode encryption run
+//!   in parallel, hiding the CRC latency (but a wrong prediction — the
+//!   paper's *F4* — wastes the cryptographic work and energy);
+//! * predicted **duplicate** → no speculative encryption; if the line turns
+//!   out unique (*F2*), encryption serializes after CRC, lookup and the
+//!   verify read, the slowest path in Figure 4.
+//!
+//! Because CRC collides easily (Figure 8), every fingerprint match is
+//! verified with a read-back byte comparison. Like Dedup_SHA1 it performs
+//! *full* deduplication: the complete CRC index lives in NVMM, so cache
+//! misses pay the fingerprint NVMM-lookup penalty.
+
+use esd_hash::FingerprintKind;
+use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
+use esd_trace::CacheLine;
+
+use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::predictor::DupPredictor;
+use crate::scheme::{
+    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+};
+
+/// Bytes per stored CRC index entry (the paper cites 16 B + 3 bits per
+/// physical line for DeWrite's metadata).
+pub const DEWRITE_ENTRY_BYTES: usize = 17;
+
+/// The DeWrite comparison scheme.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{DeWrite, DedupScheme};
+/// use esd_sim::{Ps, SystemConfig};
+/// use esd_trace::CacheLine;
+///
+/// let mut scheme = DeWrite::new(&SystemConfig::default());
+/// let first = scheme.write(Ps::ZERO, 0x40, CacheLine::from_fill(7));
+/// let second = scheme.write(first.latency, 0x80, CacheLine::from_fill(7));
+/// assert!(second.deduplicated);
+/// ```
+#[derive(Debug)]
+pub struct DeWrite {
+    core: Core,
+    store: FingerprintStore,
+    predictor: DupPredictor,
+}
+
+impl DeWrite {
+    /// Creates the scheme with the configured fingerprint-cache size.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        DeWrite {
+            core: Core::new(config, [0xDE; 16]),
+            store: FingerprintStore::new(
+                config.controller.fingerprint_cache_bytes,
+                DEWRITE_ENTRY_BYTES,
+            ),
+            predictor: DupPredictor::new(),
+        }
+    }
+
+    /// Prediction accuracy so far.
+    #[must_use]
+    pub fn predictor_stats(&self) -> crate::predictor::PredictorStats {
+        self.predictor.stats()
+    }
+}
+
+impl DedupScheme for DeWrite {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::DeWrite
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        let core = &mut self.core;
+        core.stats.writes_received += 1;
+
+        let predicted_dup = self.predictor.predict(logical);
+        let crc_cost = FingerprintKind::Crc32.cost();
+        let fp = FingerprintKind::Crc32
+            .compute_key(line.as_bytes())
+            .expect("crc32 computes a key");
+        core.stats.fingerprint_computations += 1;
+        core.stats.compute_energy += Energy::from_pj(crc_cost.energy_pj);
+        core.breakdown.fingerprint_compute += Ps::from_ns(crc_cost.latency_ns);
+
+        // Speculative parallel encryption for predicted-non-duplicates: the
+        // pipeline advances by max(CRC, AES) instead of their sum.
+        let mut encrypted_speculatively = false;
+        let t = if predicted_dup {
+            now + Ps::from_ns(crc_cost.latency_ns)
+        } else {
+            encrypted_speculatively = true;
+            core.charge_crypt_energy(); // work happens even if wasted (F4)
+            now + Ps::from_ns(crc_cost.latency_ns.max(core.encrypt_latency().as_ns()))
+        };
+
+        let lookup = self.store.lookup(t, fp, &mut core.nvmm);
+        if lookup.source != LookupSource::Cache {
+            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        }
+        let mut t = lookup.done;
+
+        if let Some(physical) = lookup.physical {
+            // CRC match: verify with a read-back byte comparison.
+            let before = t;
+            let (finish, stored_plain) = core.read_physical(t, physical);
+            t = finish + core.compare_latency;
+            core.breakdown.compare_read += t.saturating_sub(before);
+            core.stats.compare_reads += 1;
+
+            if stored_plain.as_ref() == Some(&line) {
+                // True duplicate.
+                core.stats.compare_hits += 1;
+                core.stats.writes_deduplicated += 1;
+                match lookup.source {
+                    LookupSource::Cache => core.stats.dedup_cache_filtered += 1,
+                    _ => core.stats.dedup_nvmm_filtered += 1,
+                }
+                if encrypted_speculatively {
+                    core.stats.mispredictions += 1; // F4: wasted encryption
+                }
+                self.predictor.update(logical, true);
+                let done = core.remap_to(t, logical, physical, &mut |_| {});
+                return WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                };
+            }
+            // CRC collision: actually unique. The colliding index entry
+            // keeps its first owner; this line is stored unindexed.
+        }
+
+        // Unique line. If we did not speculatively encrypt (predicted dup),
+        // encryption now serializes behind everything else (F2).
+        if !encrypted_speculatively && !predicted_dup {
+            unreachable!("non-speculative path implies a duplicate prediction");
+        }
+        if predicted_dup {
+            core.stats.mispredictions += 1; // F2
+            t += core.encrypt_latency();
+        }
+        self.predictor.update(logical, false);
+
+        let before_write = t;
+        let (done, finish, physical) = core.write_unique(t, logical, &line, true, &mut |_| {});
+        if lookup.physical.is_none() {
+            // Index entries pin their lines: full dedup never reclaims.
+            core.alloc.incref(physical);
+            self.store.insert(done, fp, physical, &mut core.nvmm);
+        }
+        core.breakdown.unique_write += finish.saturating_sub(before_write);
+        WriteResult {
+            processing_done: done,
+            device_finish: Some(finish),
+            latency: finish.saturating_sub(now),
+            deduplicated: false,
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            nvmm_bytes: self.store.nvmm_bytes() + self.core.amt.nvmm_bytes(),
+            sram_bytes: 0,
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.store.cache_stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> DeWrite {
+        DeWrite::new(&SystemConfig::default())
+    }
+
+    #[test]
+    fn duplicates_are_verified_then_eliminated() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x22);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(Ps::from_us(1), 0x40, line);
+        assert!(!w1.deduplicated);
+        assert!(w2.deduplicated);
+        assert_eq!(s.stats().compare_reads, 1, "CRC matches must be verified");
+        assert_eq!(s.stats().compare_hits, 1);
+        assert_eq!(s.nvmm().stats().data.writes, 1);
+    }
+
+    #[test]
+    fn read_back_is_correct_after_dedup() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x33);
+        s.write(Ps::ZERO, 0x00, line);
+        s.write(Ps::from_us(1), 0x40, line);
+        assert_eq!(s.read(Ps::from_us(2), 0x00).data, line);
+        assert_eq!(s.read(Ps::from_us(3), 0x40).data, line);
+    }
+
+    #[test]
+    fn crc_is_cheaper_than_sha1_on_the_write_path() {
+        let mut s = scheme();
+        s.write(Ps::ZERO, 0x00, CacheLine::from_fill(1));
+        assert!(s.breakdown().fingerprint_compute < Ps::from_ns(321));
+    }
+
+    #[test]
+    fn predicted_duplicate_that_is_unique_serializes_encryption() {
+        let mut s = scheme();
+        let line_a = CacheLine::from_fill(1);
+        // Teach the predictor that this address writes duplicates.
+        s.write(Ps::ZERO, 0x00, line_a);
+        s.write(Ps::from_us(1), 0x40, line_a);
+        s.write(Ps::from_us(2), 0x40, line_a);
+        s.write(Ps::from_us(3), 0x40, line_a);
+        assert!(s.predictor.predict(0x40));
+        let before = s.stats().mispredictions;
+        // Now write unique content to that address: F2 misprediction.
+        let w = s.write(Ps::from_us(4), 0x40, CacheLine::from_fill(99));
+        assert!(!w.deduplicated);
+        assert_eq!(s.stats().mispredictions, before + 1);
+    }
+
+    #[test]
+    fn wasted_speculative_encryption_counts_as_misprediction() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(7);
+        s.write(Ps::ZERO, 0x00, line);
+        // Cold predictor says non-dup for 0x40, but the content is duplicate.
+        let w = s.write(Ps::from_us(1), 0x40, line);
+        assert!(w.deduplicated);
+        assert_eq!(s.stats().mispredictions, 1, "F4: wasted encryption");
+    }
+
+    #[test]
+    fn metadata_entries_are_smaller_than_sha1() {
+        let mut s = scheme();
+        s.write(Ps::ZERO, 0x00, CacheLine::from_fill(1));
+        let fp = s.metadata_footprint();
+        assert_eq!(fp.nvmm_bytes, DEWRITE_ENTRY_BYTES as u64 + 9);
+        const _: () = assert!(DEWRITE_ENTRY_BYTES < crate::dedup_sha1::SHA1_ENTRY_BYTES);
+    }
+}

@@ -1,0 +1,400 @@
+//! The ECC-based Fingerprint Index Table (EFIT).
+//!
+//! The EFIT is ESD's only fingerprint structure and lives *entirely* in the
+//! memory-controller SRAM — nothing spills to NVMM, which is what eliminates
+//! the fingerprint NVMM-lookup bottleneck (paper §III-D). Each entry is
+//! ⟨ECC, Addr_base, Addr_offsets, referH⟩ = 14 bytes (Figure 7).
+//!
+//! Replacement uses the paper's **Least Reference Count Used (LRCU)**
+//! policy: entries with reference count 1 are evicted first, keeping hot
+//! fingerprints resident; a periodic refresh subtracts a fixed value from
+//! all counts so stale entries age out. A plain-LRU mode is provided for the
+//! paper's Figure 18 "without LRCU" ablation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use esd_sim::CacheStats;
+
+/// Bytes per EFIT entry: ECC (8) + `Addr_base` (4) + `Addr_offsets` (1) +
+/// `referH` (1), per the paper's Figure 7.
+pub const EFIT_ENTRY_BYTES: usize = 14;
+
+/// Maximum `referH` value (1 byte). A line referenced beyond this is treated
+/// as new and rewritten (paper §III-D).
+pub const REFER_MAX: u8 = u8::MAX;
+
+/// EFIT replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EfitPolicy {
+    /// Least Reference Count Used — the paper's policy.
+    Lrcu,
+    /// Plain LRU (the Figure 18 ablation baseline).
+    Lru,
+}
+
+/// A fingerprint entry as seen by the dedup engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EfitEntry {
+    /// Physical line this fingerprint maps to.
+    pub physical: u64,
+    /// Current reference count (`referH`).
+    pub refer: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    physical: u64,
+    refer: u8,
+    stamp: u64,
+}
+
+/// The EFIT: an SRAM-resident ECC-fingerprint index with LRCU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{Efit, EfitPolicy};
+/// let mut efit = Efit::new(1 << 10, EfitPolicy::Lrcu); // 1 KB => 73 entries
+/// efit.insert(0xABCD, 0x40);
+/// assert_eq!(efit.lookup(0xABCD).map(|e| e.physical), Some(0x40));
+/// assert!(efit.lookup(0xBEEF).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Efit {
+    policy: EfitPolicy,
+    capacity: usize,
+    entries: HashMap<u64, Slot>,
+    /// Eviction order: (priority, stamp, fingerprint) — for LRCU the
+    /// priority is the reference count, for LRU it is constant.
+    order: BTreeSet<(u8, u64, u64)>,
+    by_physical: HashMap<u64, u64>,
+    stamp_counter: u64,
+    decay_interval: u64,
+    ops_since_decay: u64,
+    stats: CacheStats,
+}
+
+impl Efit {
+    /// Default number of insert/bump operations between LRCU decay passes.
+    pub const DEFAULT_DECAY_INTERVAL: u64 = 65_536;
+
+    /// Creates an EFIT sized to `capacity_bytes` of SRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds fewer than one entry.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, policy: EfitPolicy) -> Self {
+        let capacity = (capacity_bytes as usize / EFIT_ENTRY_BYTES).max(1);
+        Efit {
+            policy,
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            by_physical: HashMap::new(),
+            stamp_counter: 0,
+            decay_interval: Self::DEFAULT_DECAY_INTERVAL,
+            ops_since_decay: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Overrides the decay interval (operations between refresh passes).
+    pub fn set_decay_interval(&mut self, interval: u64) {
+        self.decay_interval = interval.max(1);
+    }
+
+    /// Number of entries the SRAM can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The replacement policy in use.
+    #[must_use]
+    pub fn policy(&self) -> EfitPolicy {
+        self.policy
+    }
+
+    /// SRAM bytes occupied by live entries.
+    #[must_use]
+    pub fn sram_bytes(&self) -> u64 {
+        (self.entries.len() * EFIT_ENTRY_BYTES) as u64
+    }
+
+    /// Looks up a fingerprint, counting the probe in the statistics and
+    /// (under LRU) refreshing recency.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<EfitEntry> {
+        if let Some(slot) = self.entries.get(&fingerprint).copied() {
+            self.stats.hits += 1;
+            if self.policy == EfitPolicy::Lru {
+                self.retag(fingerprint);
+            }
+            Some(EfitEntry {
+                physical: slot.physical,
+                refer: slot.refer,
+            })
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Increments a fingerprint's reference count, returning the new value
+    /// (saturating at [`REFER_MAX`]).
+    ///
+    /// Returns `None` if the fingerprint is not resident.
+    pub fn bump_ref(&mut self, fingerprint: u64) -> Option<u8> {
+        self.tick();
+        let slot = self.entries.get(&fingerprint).copied()?;
+        let key = self.order_key(&slot, fingerprint);
+        self.order.remove(&key);
+        let new_refer = slot.refer.saturating_add(1);
+        let new_slot = Slot {
+            refer: new_refer,
+            ..slot
+        };
+        self.order.insert(self.order_key(&new_slot, fingerprint));
+        self.entries.insert(fingerprint, new_slot);
+        Some(new_refer)
+    }
+
+    /// Inserts a fingerprint → physical mapping with `referH = 1`, evicting
+    /// per the policy if full.
+    ///
+    /// Returns the physical line of the displaced entry (the LRCU victim,
+    /// or the old target when `fingerprint` is replaced in place). The
+    /// caller holds one reference-count *pin* per resident entry, so it
+    /// must `decref` the returned physical.
+    pub fn insert(&mut self, fingerprint: u64, physical: u64) -> Option<u64> {
+        self.tick();
+        // Replace an existing mapping in place.
+        if let Some(old) = self.entries.get(&fingerprint).copied() {
+            let key = self.order_key(&old, fingerprint);
+            self.order.remove(&key);
+            self.by_physical.remove(&old.physical);
+            let slot = Slot {
+                physical,
+                refer: 1,
+                stamp: self.bump_stamp(),
+            };
+            self.order.insert(self.order_key(&slot, fingerprint));
+            self.entries.insert(fingerprint, slot);
+            self.by_physical.insert(physical, fingerprint);
+            return Some(old.physical);
+        }
+        let displaced = if self.entries.len() >= self.capacity {
+            let &victim_key = self.order.iter().next().expect("full table has entries");
+            let (_, _, victim_fp) = victim_key;
+            self.order.remove(&victim_key);
+            let victim = self.entries.remove(&victim_fp).expect("victim resident");
+            self.by_physical.remove(&victim.physical);
+            self.stats.evictions += 1;
+            Some(victim.physical)
+        } else {
+            None
+        };
+        let slot = Slot {
+            physical,
+            refer: 1,
+            stamp: self.bump_stamp(),
+        };
+        self.order.insert(self.order_key(&slot, fingerprint));
+        self.entries.insert(fingerprint, slot);
+        self.by_physical.insert(physical, fingerprint);
+        displaced
+    }
+
+    /// Physical lines currently pinned by resident entries (one per entry).
+    #[must_use]
+    pub fn pinned_physicals(&self) -> Vec<u64> {
+        self.entries.values().map(|slot| slot.physical).collect()
+    }
+
+    /// Drops the entry (if any) whose target physical line was freed, so a
+    /// stale fingerprint can never dedup against recycled storage.
+    pub fn invalidate_physical(&mut self, physical: u64) {
+        if let Some(fp) = self.by_physical.remove(&physical) {
+            if let Some(slot) = self.entries.remove(&fp) {
+                let key = self.order_key(&slot, fp);
+                self.order.remove(&key);
+            }
+        }
+    }
+
+    fn order_key(&self, slot: &Slot, fp: u64) -> (u8, u64, u64) {
+        match self.policy {
+            EfitPolicy::Lrcu => (slot.refer, slot.stamp, fp),
+            EfitPolicy::Lru => (0, slot.stamp, fp),
+        }
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        self.stamp_counter += 1;
+        self.stamp_counter
+    }
+
+    fn retag(&mut self, fingerprint: u64) {
+        if let Some(slot) = self.entries.get(&fingerprint).copied() {
+            let key = self.order_key(&slot, fingerprint);
+            self.order.remove(&key);
+            let new_slot = Slot {
+                stamp: self.bump_stamp(),
+                ..slot
+            };
+            self.order.insert(self.order_key(&new_slot, fingerprint));
+            self.entries.insert(fingerprint, new_slot);
+        }
+    }
+
+    /// Advances the decay clock; under LRCU, periodically subtracts one from
+    /// every reference count (floored at 1) so counts stay fresh (§III-D).
+    fn tick(&mut self) {
+        if self.policy != EfitPolicy::Lrcu {
+            return;
+        }
+        self.ops_since_decay += 1;
+        if self.ops_since_decay < self.decay_interval {
+            return;
+        }
+        self.ops_since_decay = 0;
+        let mut rebuilt = BTreeSet::new();
+        for (&fp, slot) in &mut self.entries {
+            slot.refer = slot.refer.saturating_sub(1).max(1);
+            rebuilt.insert((slot.refer, slot.stamp, fp));
+        }
+        self.order = rebuilt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: EfitPolicy) -> Efit {
+        // 3 entries.
+        Efit::new((EFIT_ENTRY_BYTES * 3) as u64, policy)
+    }
+
+    #[test]
+    fn capacity_derives_from_entry_size() {
+        let efit = Efit::new(512 << 10, EfitPolicy::Lrcu);
+        assert_eq!(efit.capacity(), (512 << 10) / EFIT_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn lookup_hit_and_miss_are_counted() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        assert!(efit.lookup(1).is_some());
+        assert!(efit.lookup(2).is_none());
+        assert_eq!(efit.stats().hits, 1);
+        assert_eq!(efit.stats().misses, 1);
+    }
+
+    #[test]
+    fn lrcu_evicts_lowest_reference_count_first() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        efit.insert(2, 0x80);
+        efit.insert(3, 0xC0);
+        efit.bump_ref(2);
+        efit.bump_ref(3);
+        efit.bump_ref(3);
+        // All full; fp 1 has refer 1 => evicted first.
+        let evicted = efit.insert(4, 0x100);
+        assert_eq!(evicted, Some(0x40), "fp 1's line is displaced");
+        assert!(efit.lookup(2).is_some());
+        assert!(efit.lookup(3).is_some());
+    }
+
+    #[test]
+    fn lrcu_prefers_oldest_among_equal_counts() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        efit.insert(2, 0x80);
+        efit.insert(3, 0xC0);
+        let evicted = efit.insert(4, 0x100);
+        assert_eq!(evicted, Some(0x40), "all refer=1, oldest goes first");
+    }
+
+    #[test]
+    fn lru_mode_ignores_reference_counts() {
+        let mut efit = small(EfitPolicy::Lru);
+        efit.insert(1, 0x40);
+        efit.insert(2, 0x80);
+        efit.insert(3, 0xC0);
+        efit.bump_ref(1); // would protect under LRCU
+        let _ = efit.lookup(2); // refresh 2 and 3 under LRU
+        let _ = efit.lookup(3);
+        let evicted = efit.insert(4, 0x100);
+        assert_eq!(evicted, Some(0x40), "LRU evicts least-recent regardless of refer");
+    }
+
+    #[test]
+    fn bump_ref_saturates_at_max() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        for _ in 0..300 {
+            efit.bump_ref(1);
+        }
+        assert_eq!(efit.lookup(1).unwrap().refer, REFER_MAX);
+        assert_eq!(efit.bump_ref(99), None, "absent fingerprint");
+    }
+
+    #[test]
+    fn invalidate_physical_removes_entry() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        efit.invalidate_physical(0x40);
+        assert!(efit.lookup(1).is_none());
+        assert_eq!(efit.len(), 0);
+        // Idempotent on unknown physicals.
+        efit.invalidate_physical(0xDEAD);
+    }
+
+    #[test]
+    fn decay_lowers_counts_toward_one() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.set_decay_interval(4);
+        efit.insert(1, 0x40);
+        efit.bump_ref(1);
+        efit.bump_ref(1);
+        assert_eq!(efit.lookup(1).unwrap().refer, 3);
+        // Trigger decay via ticks.
+        for fp in 10..14 {
+            efit.insert(fp, fp * 64);
+        }
+        assert!(
+            efit.lookup(1).map(|e| e.refer).unwrap_or(1) <= 3,
+            "decay must not raise counts"
+        );
+    }
+
+    #[test]
+    fn reinsert_same_fingerprint_replaces_mapping() {
+        let mut efit = small(EfitPolicy::Lrcu);
+        efit.insert(1, 0x40);
+        assert_eq!(efit.insert(1, 0x80), Some(0x40), "old pin released");
+        assert_eq!(efit.lookup(1).unwrap().physical, 0x80);
+        assert_eq!(efit.len(), 1);
+    }
+}

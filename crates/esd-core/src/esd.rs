@@ -1,0 +1,378 @@
+//! ESD: ECC-assisted and selective deduplication — the paper's scheme.
+//!
+//! The write path (Figure 9):
+//!
+//! 1. Intercept the ECC the memory controller already computed for the
+//!    evicted line — a free 64-bit fingerprint with the hard guarantee that
+//!    *different ECC ⇒ different content*.
+//! 2. Probe the SRAM-resident EFIT. A **miss** definitively classifies the
+//!    line as not-deduplicable-here: encrypt and write, then install the
+//!    fingerprint (LRCU replacement keeps high-reference-count entries).
+//!    No hash is ever computed and no fingerprint is ever fetched from NVMM.
+//! 3. A **hit** marks the line *similar*: exploit the read/write asymmetry
+//!    of PCM (reads are ~2x cheaper) to read the candidate back and compare
+//!    byte-by-byte. Equal → deduplicate (bump `referH`, remap the AMT);
+//!    unequal (an ECC collision) → write as unique.
+//!
+//! Selectivity means ESD misses duplicates whose fingerprints were evicted
+//! — the paper measures ~18% fewer eliminated writes than full dedup — in
+//! exchange for zero fingerprint computation and zero fingerprint NVMM
+//! lookups on the critical path.
+
+
+use esd_sim::{NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
+use esd_trace::CacheLine;
+
+use crate::efit::{Efit, EfitPolicy, REFER_MAX};
+use crate::scheme::{
+    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+};
+
+/// The ESD scheme.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{DedupScheme, Esd};
+/// use esd_sim::{Ps, SystemConfig};
+/// use esd_trace::CacheLine;
+///
+/// let mut scheme = Esd::new(&SystemConfig::default());
+/// let first = scheme.write(Ps::ZERO, 0x40, CacheLine::from_fill(7));
+/// let second = scheme.write(first.latency, 0x80, CacheLine::from_fill(7));
+/// assert!(!first.deduplicated);
+/// assert!(second.deduplicated);
+/// // No hash was ever computed:
+/// assert_eq!(scheme.stats().fingerprint_computations, 0);
+/// ```
+#[derive(Debug)]
+pub struct Esd {
+    core: Core,
+    efit: Efit,
+    codec: esd_ecc::EccCodec,
+}
+
+impl Esd {
+    /// Creates ESD with the configured EFIT size and LRCU replacement.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        Esd::with_policy(config, EfitPolicy::Lrcu)
+    }
+
+    /// Creates ESD with an explicit EFIT policy (LRU is the Figure 18
+    /// ablation).
+    #[must_use]
+    pub fn with_policy(config: &SystemConfig, policy: EfitPolicy) -> Self {
+        Esd {
+            core: Core::new(config, [0xE5; 16]),
+            efit: Efit::new(config.controller.fingerprint_cache_bytes, policy),
+            codec: esd_ecc::EccCodec::Hamming,
+        }
+    }
+
+    /// Creates ESD fingerprinting with an explicit SEC-DED codec (Hamming
+    /// vs the Hsiao code most controllers actually ship) — the collision
+    /// structure of the fingerprint space differs between the two.
+    #[must_use]
+    pub fn with_codec(config: &SystemConfig, codec: esd_ecc::EccCodec) -> Self {
+        let mut scheme = Esd::new(config);
+        scheme.codec = codec;
+        scheme
+    }
+
+    /// The SEC-DED codec supplying fingerprints.
+    #[must_use]
+    pub fn codec(&self) -> esd_ecc::EccCodec {
+        self.codec
+    }
+
+    /// Creates ESD with Start-Gap wear leveling under the deduplicated
+    /// store: dedup removes writes, the leveler spreads the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero `region_lines` or `gap_interval`.
+    #[must_use]
+    pub fn with_wear_leveling(
+        config: &SystemConfig,
+        region_lines: u64,
+        gap_interval: u32,
+    ) -> Self {
+        let mut scheme = Esd::new(config);
+        scheme
+            .core
+            .nvmm
+            .enable_wear_leveling(region_lines, gap_interval);
+        scheme
+    }
+
+    /// The EFIT, for inspection (hit rates, occupancy).
+    #[must_use]
+    pub fn efit(&self) -> &Efit {
+        &self.efit
+    }
+
+    /// Overrides the EFIT's LRCU decay interval (for sensitivity studies).
+    pub fn efit_decay_interval(&mut self, interval: u64) {
+        self.efit.set_decay_interval(interval);
+    }
+
+    /// Simulates a power-loss event and recovery, per the paper's §III-E:
+    /// every SRAM structure is lost — the EFIT (harmless: only future
+    /// deduplication opportunities disappear, never data) and the AMT's
+    /// hot-entry cache (refilled from the NVMM-resident table on demand).
+    /// Encryption counters are persisted with eADR and survive.
+    ///
+    /// Every reference-count pin held by the discarded EFIT is released.
+    pub fn crash_and_recover(&mut self) {
+        // Release the EFIT's pins before discarding it.
+        let pinned: Vec<u64> = self.efit.pinned_physicals();
+        for physical in pinned {
+            self.core.alloc.decref(physical);
+        }
+        self.efit = Efit::new(
+            (self.efit.capacity() * crate::efit::EFIT_ENTRY_BYTES) as u64,
+            self.efit.policy(),
+        );
+        self.core.amt.drop_sram_cache();
+    }
+
+    fn write_as_unique(&mut self, now: Ps, t: Ps, logical: u64, line: &CacheLine, fp: u64) -> WriteResult {
+        let core = &mut self.core;
+        let before_write = t;
+        let (done, finish, physical) = core.write_unique(t, logical, line, false, &mut |_| {});
+        // The EFIT entry pins its target line (one reference count), so a
+        // fingerprint can never point at recycled storage; the pin of any
+        // displaced entry is released here.
+        core.alloc.incref(physical);
+        if let Some(displaced) = self.efit.insert(fp, physical) {
+            core.alloc.decref(displaced);
+        }
+        core.breakdown.unique_write += finish.saturating_sub(before_write);
+        WriteResult {
+            processing_done: done,
+            device_finish: Some(finish),
+            latency: finish.saturating_sub(now),
+            deduplicated: false,
+        }
+    }
+}
+
+impl DedupScheme for Esd {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Esd
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.core.stats.writes_received += 1;
+
+        // The ECC fingerprint is free: the controller computed it already.
+        let fp = self.codec.line_fingerprint(line.as_bytes());
+        let t = now + self.core.sram_latency; // EFIT probe
+
+        let entry = self.efit.lookup(fp);
+        match entry {
+            None => {
+                // Definitively not deduplicable here: no hash, no NVMM
+                // lookup — straight to encrypt-and-write.
+                self.write_as_unique(now, t, logical, &line, fp)
+            }
+            Some(entry) => {
+                // Similar line: verify via read-back (PCM reads are cheap
+                // relative to writes — the asymmetry ESD exploits).
+                let before = t;
+                let (finish, stored_plain) = self.core.read_physical(t, entry.physical);
+                let t = finish + self.core.compare_latency;
+                self.core.breakdown.compare_read += t.saturating_sub(before);
+                self.core.stats.compare_reads += 1;
+
+                let is_dup = stored_plain.as_ref() == Some(&line);
+                if !is_dup {
+                    // ECC collision: contents differ.
+                    return self.write_as_unique(now, t, logical, &line, fp);
+                }
+                self.core.stats.compare_hits += 1;
+
+                if entry.refer == REFER_MAX {
+                    // referH would overflow its single byte: the paper
+                    // rewrites the line as new instead (§III-D).
+                    return self.write_as_unique(now, t, logical, &line, fp);
+                }
+
+                self.core.stats.writes_deduplicated += 1;
+                self.core.stats.dedup_cache_filtered += 1; // EFIT is SRAM-only
+                self.efit.bump_ref(fp);
+                let done = self.core.remap_to(t, logical, entry.physical, &mut |_| {});
+                WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                }
+            }
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            // ESD keeps no fingerprints in NVMM — only the AMT.
+            nvmm_bytes: self.core.amt.nvmm_bytes(),
+            sram_bytes: self.efit.sram_bytes(),
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.efit.stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> Esd {
+        Esd::new(&SystemConfig::default())
+    }
+
+    #[test]
+    fn no_fingerprint_computation_ever() {
+        let mut s = scheme();
+        for i in 0..20u64 {
+            s.write(Ps::ZERO, i * 64, CacheLine::from_fill((i % 3) as u8));
+        }
+        assert_eq!(s.stats().fingerprint_computations, 0);
+        assert_eq!(s.breakdown().fingerprint_compute, Ps::ZERO);
+    }
+
+    #[test]
+    fn no_fingerprint_nvmm_lookups_ever() {
+        let mut s = scheme();
+        for i in 0..50u64 {
+            s.write(Ps::ZERO, i * 64, CacheLine::from_seed(i % 7));
+        }
+        assert_eq!(s.breakdown().nvmm_lookup, Ps::ZERO);
+        // The only metadata reads come from AMT misses, none from
+        // fingerprints; with a warm AMT cache there are none at all here.
+        assert_eq!(s.stats().dedup_nvmm_filtered, 0);
+    }
+
+    #[test]
+    fn duplicates_are_verified_and_eliminated() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x44);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(Ps::from_us(1), 0x40, line);
+        assert!(!w1.deduplicated);
+        assert!(w2.deduplicated);
+        assert_eq!(s.stats().compare_reads, 1);
+        assert_eq!(s.stats().compare_hits, 1);
+        assert_eq!(s.nvmm().stats().data.writes, 1);
+        assert_eq!(s.read(Ps::from_us(2), 0x40).data, line);
+    }
+
+    #[test]
+    fn dedup_latency_is_read_bound_not_write_bound() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x55);
+        s.write(Ps::ZERO, 0x00, line);
+        let w = s.write(Ps::from_us(1), 0x40, line);
+        // Probe (2ns) + verify read (15ns row hit + 4ns bus) + compare (2ns)
+        // + decrypt (5ns) + AMT update.
+        assert!(w.latency < Ps::from_ns(120), "dedup path was {}", w.latency);
+        assert!(
+            w.latency >= Ps::from_ns(15),
+            "must include the verify read (row-buffer hit)"
+        );
+    }
+
+    #[test]
+    fn efit_eviction_causes_missed_duplicates_not_errors() {
+        // A tiny EFIT forces evictions; correctness must hold regardless.
+        let mut config = SystemConfig::default();
+        config.controller.fingerprint_cache_bytes = 14 * 2; // 2 entries
+        let mut s = Esd::new(&config);
+        let lines: Vec<CacheLine> = (0..5).map(CacheLine::from_seed).collect();
+        for (i, line) in lines.iter().enumerate() {
+            s.write(Ps::ZERO, (i as u64) * 64, *line);
+        }
+        // Rewrite the first content: its fingerprint was evicted, so this is
+        // a missed duplicate (selectivity), not a failure.
+        let w = s.write(Ps::from_us(1), 0x400, lines[0]);
+        assert!(!w.deduplicated);
+        assert_eq!(s.read(Ps::from_us(2), 0x400).data, lines[0]);
+    }
+
+    #[test]
+    fn refer_saturation_rewrites_as_new() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x66);
+        s.write(Ps::ZERO, 0x00, line);
+        // Push referH to the 1-byte limit.
+        let mut deduped = 0u64;
+        for i in 1..=300u64 {
+            let w = s.write(Ps::from_us(i), i * 64, line);
+            if w.deduplicated {
+                deduped += 1;
+            }
+        }
+        // referH saturates at 255, after which the line is rewritten as new
+        // (and the EFIT entry then points at the new copy).
+        assert!(deduped >= 250, "deduped {deduped}");
+        assert!(s.stats().writes_unique >= 2, "saturation forces a rewrite");
+        // All logicals still read back correctly.
+        assert_eq!(s.read(Ps::from_us(1000), 0x40 * 3).data, line);
+    }
+
+    #[test]
+    fn metadata_lives_in_sram_not_nvmm() {
+        let mut s = scheme();
+        for i in 0..10u64 {
+            s.write(Ps::ZERO, i * 64, CacheLine::from_seed(i));
+        }
+        let fp = s.metadata_footprint();
+        assert!(fp.sram_bytes > 0, "EFIT entries occupy SRAM");
+        assert_eq!(fp.nvmm_bytes, s.core.amt.nvmm_bytes(), "no fingerprints in NVMM");
+    }
+
+    #[test]
+    fn lru_ablation_constructs() {
+        let s = Esd::with_policy(&SystemConfig::default(), EfitPolicy::Lru);
+        assert_eq!(s.efit().policy(), EfitPolicy::Lru);
+    }
+
+    #[test]
+    fn hsiao_codec_deduplicates_identically_on_exact_matches() {
+        let config = SystemConfig::default();
+        let mut s = Esd::with_codec(&config, esd_ecc::EccCodec::Hsiao);
+        assert_eq!(s.codec(), esd_ecc::EccCodec::Hsiao);
+        let line = CacheLine::from_fill(0x21);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(Ps::from_us(1), 0x40, line);
+        assert!(!w1.deduplicated && w2.deduplicated);
+        assert_eq!(s.read(Ps::from_us(2), 0x40).data, line);
+    }
+}

@@ -1,0 +1,262 @@
+//! The full fingerprint store used by the Dedup_SHA1 and DeWrite baselines.
+//!
+//! Full-deduplication schemes keep *every* fingerprint: the complete index
+//! lives in NVMM and only a slice is cached in controller SRAM. A cache miss
+//! therefore forces a fingerprint **NVMM lookup** on the critical write path
+//! — the bottleneck the paper quantifies in Figure 5 and that ESD's
+//! selective deduplication eliminates.
+
+use std::collections::HashMap;
+
+use esd_sim::{CacheStats, LruCache, NvmmSystem, Ps};
+
+/// Base NVMM address of the fingerprint-store region.
+const FP_NVMM_BASE: u64 = 1 << 45;
+/// Range (in 64-byte lines) the store's entries hash into for bank mapping.
+const FP_NVMM_LINES: u64 = 1 << 24;
+
+/// Where a fingerprint lookup was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LookupSource {
+    /// Found in the SRAM fingerprint cache.
+    Cache,
+    /// Found only after reading the NVMM-resident store.
+    Nvmm,
+    /// Not present anywhere (a new, unique fingerprint); the NVMM lookup was
+    /// still paid if the cache missed.
+    Absent,
+}
+
+/// Result of one fingerprint lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpLookup {
+    /// Physical line the fingerprint maps to, if present.
+    pub physical: Option<u64>,
+    /// Time the lookup completed.
+    pub done: Ps,
+    /// Where it was resolved.
+    pub source: LookupSource,
+}
+
+/// A full fingerprint index: authoritative table in NVMM, hot slice in SRAM.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{FingerprintStore, LookupSource};
+/// use esd_sim::{NvmmSystem, PcmConfig, Ps};
+///
+/// let mut nvmm = NvmmSystem::new(PcmConfig::default());
+/// let mut store = FingerprintStore::new(1 << 10, 29);
+/// store.insert(Ps::ZERO, 0xFEED, 0x40, &mut nvmm);
+/// let hit = store.lookup(Ps::ZERO, 0xFEED, &mut nvmm);
+/// assert_eq!(hit.physical, Some(0x40));
+/// assert_eq!(hit.source, LookupSource::Cache);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FingerprintStore {
+    /// Authoritative fingerprint → physical table ("in NVMM").
+    table: HashMap<u64, u64>,
+    by_physical: HashMap<u64, u64>,
+    cache: LruCache<u64, u64>,
+    entry_bytes: usize,
+    sram_latency: Ps,
+    /// Inserts not yet flushed as an NVMM metadata-line write (amortization).
+    pending_inserts: usize,
+    nvmm_lookups: u64,
+    nvmm_insert_writes: u64,
+}
+
+impl FingerprintStore {
+    /// Creates a store whose SRAM cache holds `cache_bytes` of entries, each
+    /// `entry_bytes` wide (29 B for SHA-1 entries, 17 B for DeWrite's CRC
+    /// entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero or the cache holds fewer than one
+    /// entry.
+    #[must_use]
+    pub fn new(cache_bytes: u64, entry_bytes: usize) -> Self {
+        assert!(entry_bytes > 0, "entry size must be nonzero");
+        let entries = (cache_bytes as usize / entry_bytes).max(1);
+        FingerprintStore {
+            table: HashMap::new(),
+            by_physical: HashMap::new(),
+            cache: LruCache::new(entries),
+            entry_bytes,
+            sram_latency: Ps::from_ns(2),
+            pending_inserts: 0,
+            nvmm_lookups: 0,
+            nvmm_insert_writes: 0,
+        }
+    }
+
+    /// SRAM cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total fingerprints stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// NVMM bytes occupied by the full index.
+    #[must_use]
+    pub fn nvmm_bytes(&self) -> u64 {
+        (self.table.len() * self.entry_bytes) as u64
+    }
+
+    /// Number of NVMM lookups (cache misses) and amortized insert writes.
+    #[must_use]
+    pub fn nvmm_traffic(&self) -> (u64, u64) {
+        (self.nvmm_lookups, self.nvmm_insert_writes)
+    }
+
+    /// Looks up a fingerprint, charging SRAM time and — on a cache miss —
+    /// one NVMM metadata read (paid whether or not the fingerprint exists).
+    pub fn lookup(&mut self, now: Ps, fingerprint: u64, nvmm: &mut NvmmSystem) -> FpLookup {
+        let t = now + self.sram_latency;
+        if let Some(&physical) = self.cache.get(&fingerprint) {
+            return FpLookup {
+                physical: Some(physical),
+                done: t,
+                source: LookupSource::Cache,
+            };
+        }
+        // Cache miss: the store must be consulted in NVMM.
+        let completion = nvmm.metadata_read(t, Self::meta_line_of(fingerprint));
+        self.nvmm_lookups += 1;
+        let done = completion.finish;
+        match self.table.get(&fingerprint).copied() {
+            Some(physical) => {
+                self.cache.insert(fingerprint, physical);
+                FpLookup {
+                    physical: Some(physical),
+                    done,
+                    source: LookupSource::Nvmm,
+                }
+            }
+            None => FpLookup {
+                physical: None,
+                done,
+                source: LookupSource::Absent,
+            },
+        }
+    }
+
+    /// Inserts a new fingerprint; NVMM index writes are amortized over the
+    /// number of entries per 64-byte metadata line.
+    pub fn insert(&mut self, now: Ps, fingerprint: u64, physical: u64, nvmm: &mut NvmmSystem) {
+        self.table.insert(fingerprint, physical);
+        self.by_physical.insert(physical, fingerprint);
+        self.cache.insert(fingerprint, physical);
+        self.pending_inserts += 1;
+        let entries_per_line = (64 / self.entry_bytes).max(1);
+        if self.pending_inserts >= entries_per_line {
+            self.pending_inserts = 0;
+            nvmm.metadata_write(now, Self::meta_line_of(fingerprint));
+            self.nvmm_insert_writes += 1;
+        }
+    }
+
+    /// Removes the fingerprint mapped to a freed physical line.
+    pub fn remove_physical(&mut self, physical: u64) {
+        if let Some(fp) = self.by_physical.remove(&physical) {
+            self.table.remove(&fp);
+            self.cache.remove(&fp);
+        }
+    }
+
+    fn meta_line_of(fingerprint: u64) -> u64 {
+        FP_NVMM_BASE + (fingerprint % FP_NVMM_LINES) * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_sim::PcmConfig;
+
+    fn nvmm() -> NvmmSystem {
+        NvmmSystem::new(PcmConfig::default())
+    }
+
+    #[test]
+    fn cache_hit_is_sram_speed() {
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(1024, 29);
+        store.insert(Ps::ZERO, 1, 0x40, &mut mem);
+        let hit = store.lookup(Ps::ZERO, 1, &mut mem);
+        assert_eq!(hit.source, LookupSource::Cache);
+        assert_eq!(hit.done, Ps::from_ns(2));
+    }
+
+    #[test]
+    fn cache_miss_pays_nvmm_read_even_when_absent() {
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(1024, 29);
+        let miss = store.lookup(Ps::ZERO, 42, &mut mem);
+        assert_eq!(miss.source, LookupSource::Absent);
+        assert!(miss.physical.is_none());
+        assert!(miss.done >= Ps::from_ns(75), "NVMM lookup dominates");
+        assert_eq!(store.nvmm_traffic().0, 1);
+        assert_eq!(mem.stats().metadata.reads, 1);
+    }
+
+    #[test]
+    fn evicted_entry_is_refetched_from_nvmm() {
+        let mut mem = nvmm();
+        // One-entry cache.
+        let mut store = FingerprintStore::new(29, 29);
+        store.insert(Ps::ZERO, 1, 0x40, &mut mem);
+        store.insert(Ps::ZERO, 2, 0x80, &mut mem); // evicts fp 1 from cache
+        let hit = store.lookup(Ps::ZERO, 1, &mut mem);
+        assert_eq!(hit.source, LookupSource::Nvmm);
+        assert_eq!(hit.physical, Some(0x40));
+    }
+
+    #[test]
+    fn insert_writes_are_amortized_per_metadata_line() {
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(4096, 29); // 2 entries per 64B line
+        store.insert(Ps::ZERO, 1, 0x40, &mut mem);
+        assert_eq!(mem.stats().metadata.writes, 0);
+        store.insert(Ps::ZERO, 2, 0x80, &mut mem);
+        assert_eq!(mem.stats().metadata.writes, 1);
+        assert_eq!(store.nvmm_traffic().1, 1);
+    }
+
+    #[test]
+    fn remove_physical_drops_fingerprint() {
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(1024, 17);
+        store.insert(Ps::ZERO, 7, 0x40, &mut mem);
+        store.remove_physical(0x40);
+        assert!(store.is_empty());
+        let miss = store.lookup(Ps::ZERO, 7, &mut mem);
+        assert_eq!(miss.source, LookupSource::Absent);
+    }
+
+    #[test]
+    fn footprint_scales_with_entry_width() {
+        let mut mem = nvmm();
+        let mut sha1 = FingerprintStore::new(1024, 29);
+        let mut crc = FingerprintStore::new(1024, 17);
+        for i in 0..10u64 {
+            sha1.insert(Ps::ZERO, i, i * 64, &mut mem);
+            crc.insert(Ps::ZERO, i, i * 64, &mut mem);
+        }
+        assert_eq!(sha1.nvmm_bytes(), 290);
+        assert_eq!(crc.nvmm_bytes(), 170);
+    }
+}

@@ -1,0 +1,212 @@
+//! Run reports: everything the paper's figures are computed from.
+
+use esd_sim::{CacheStats, Energy, LatencyHistogram, PcmStats, Ps, WriteLatencyBreakdown};
+
+use crate::scheme::{MetadataFootprint, SchemeKind, SchemeStats};
+
+/// The complete result of replaying one trace through one scheme.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which scheme ran.
+    pub scheme: SchemeKind,
+    /// Workload name.
+    pub app: String,
+    /// Scheme-level counters.
+    pub stats: SchemeStats,
+    /// Device-level counters (reads/writes/energy by class).
+    pub pcm: PcmStats,
+    /// Write-path latency distribution (Figure 15's CDF source).
+    pub write_latency: LatencyHistogram,
+    /// Read latency distribution.
+    pub read_latency: LatencyHistogram,
+    /// The four-bucket write-latency decomposition (Figure 17).
+    pub breakdown: WriteLatencyBreakdown,
+    /// Instructions per cycle achieved (Figure 14).
+    pub ipc: f64,
+    /// Fingerprint-structure cache statistics, if any (EFIT for ESD).
+    pub fingerprint_cache: Option<CacheStats>,
+    /// AMT cache statistics, if any.
+    pub amt_cache: Option<CacheStats>,
+    /// Metadata footprint at end of run (Figure 19).
+    pub metadata: MetadataFootprint,
+    /// Peak per-line write count (endurance hot spot).
+    pub max_wear: u64,
+}
+
+impl RunReport {
+    /// Mean write-path latency.
+    #[must_use]
+    pub fn avg_write_latency(&self) -> Ps {
+        self.write_latency.mean()
+    }
+
+    /// Mean read latency.
+    #[must_use]
+    pub fn avg_read_latency(&self) -> Ps {
+        self.read_latency.mean()
+    }
+
+    /// Total energy: device accesses plus fingerprint/crypto computation.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.pcm.total_energy() + self.stats.compute_energy
+    }
+
+    /// Data-line writes that actually reached NVMM (Figure 11's numerator).
+    #[must_use]
+    pub fn nvmm_data_writes(&self) -> u64 {
+        self.pcm.data.writes
+    }
+
+    /// Fraction of incoming writes eliminated by deduplication.
+    #[must_use]
+    pub fn write_reduction(&self) -> f64 {
+        if self.stats.writes_received == 0 {
+            0.0
+        } else {
+            self.stats.writes_deduplicated as f64 / self.stats.writes_received as f64
+        }
+    }
+
+    /// A multi-line human-readable summary of this run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} on {}", self.scheme, self.app);
+        let _ = writeln!(
+            out,
+            "  writes: {} received, {} unique, {} deduplicated ({:.1}%)",
+            self.stats.writes_received,
+            self.stats.writes_unique,
+            self.stats.writes_deduplicated,
+            self.write_reduction() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  latency: write avg {} p99 {}, read avg {}",
+            self.avg_write_latency(),
+            self.write_latency.percentile(0.99),
+            self.avg_read_latency()
+        );
+        let _ = writeln!(
+            out,
+            "  device: {} data writes, {} data reads, {} metadata accesses",
+            self.pcm.data.writes,
+            self.pcm.data.reads,
+            self.pcm.metadata.reads + self.pcm.metadata.writes
+        );
+        let _ = writeln!(
+            out,
+            "  ipc {:.2} | energy {} | peak wear {} | metadata {} B NVMM + {} B SRAM",
+            self.ipc,
+            self.total_energy(),
+            self.max_wear,
+            self.metadata.nvmm_bytes,
+            self.metadata.sram_bytes
+        );
+        out
+    }
+}
+
+/// A report normalized against the Baseline run of the same workload — the
+/// form every figure in the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalized {
+    /// Baseline average write latency / this scheme's (higher is better).
+    pub write_speedup: f64,
+    /// Baseline average read latency / this scheme's (higher is better).
+    pub read_speedup: f64,
+    /// This scheme's IPC / Baseline's (higher is better).
+    pub ipc_ratio: f64,
+    /// This scheme's total energy / Baseline's (lower is better).
+    pub energy_ratio: f64,
+    /// This scheme's NVMM data writes / Baseline's (lower is better).
+    pub write_traffic_ratio: f64,
+}
+
+impl RunReport {
+    /// Normalizes this report against a baseline run of the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports are for different workloads.
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &RunReport) -> Normalized {
+        assert_eq!(self.app, baseline.app, "normalize within one workload");
+        let ratio = |a: f64, b: f64| if b == 0.0 { 0.0 } else { a / b };
+        Normalized {
+            write_speedup: ratio(
+                baseline.avg_write_latency().as_ps() as f64,
+                self.avg_write_latency().as_ps() as f64,
+            ),
+            read_speedup: ratio(
+                baseline.avg_read_latency().as_ps() as f64,
+                self.avg_read_latency().as_ps() as f64,
+            ),
+            ipc_ratio: ratio(self.ipc, baseline.ipc),
+            energy_ratio: ratio(
+                self.total_energy().as_pj() as f64,
+                baseline.total_energy().as_pj() as f64,
+            ),
+            write_traffic_ratio: ratio(
+                self.nvmm_data_writes() as f64,
+                baseline.nvmm_data_writes() as f64,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(scheme: SchemeKind, write_ns: u64, ipc: f64) -> RunReport {
+        let mut write_latency = LatencyHistogram::new();
+        write_latency.record(Ps::from_ns(write_ns));
+        let mut read_latency = LatencyHistogram::new();
+        read_latency.record(Ps::from_ns(80));
+        RunReport {
+            scheme,
+            app: "demo".into(),
+            stats: SchemeStats {
+                writes_received: 10,
+                writes_deduplicated: 4,
+                ..SchemeStats::default()
+            },
+            pcm: PcmStats::default(),
+            write_latency,
+            read_latency,
+            breakdown: WriteLatencyBreakdown::default(),
+            ipc,
+            fingerprint_cache: None,
+            amt_cache: None,
+            metadata: MetadataFootprint::default(),
+            max_wear: 1,
+        }
+    }
+
+    #[test]
+    fn write_reduction_is_dedup_fraction() {
+        let r = dummy(SchemeKind::Esd, 100, 1.0);
+        assert!((r.write_reduction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_ratios() {
+        let base = dummy(SchemeKind::Baseline, 200, 1.0);
+        let esd = dummy(SchemeKind::Esd, 100, 2.0);
+        let n = esd.normalized_to(&base);
+        assert!((n.write_speedup - 2.0).abs() < 0.15, "bucket rounding tolerated");
+        assert!((n.ipc_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize within one workload")]
+    fn cross_app_normalization_panics() {
+        let base = dummy(SchemeKind::Baseline, 200, 1.0);
+        let mut other = dummy(SchemeKind::Esd, 100, 2.0);
+        other.app = "other".into();
+        let _ = other.normalized_to(&base);
+    }
+}

@@ -1,0 +1,226 @@
+//! The trace runner: drives a scheme with a trace through the CPU model and
+//! collects a [`RunReport`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use esd_sim::{CpuModel, LatencyHistogram, SystemConfig};
+use esd_trace::{AccessKind, AppProfile, CacheLine, Trace};
+
+use crate::baseline::Baseline;
+use crate::dedup_sha1::DedupSha1;
+use crate::dewrite::DeWrite;
+use crate::esd::Esd;
+use crate::report::RunReport;
+use crate::scheme::{DedupScheme, SchemeKind};
+use crate::variants::{EsdFull, EsdNoVerify, HashDedup};
+
+/// Constructs a scheme of the given kind over a fresh simulated system.
+#[must_use]
+pub fn build_scheme(kind: SchemeKind, config: &SystemConfig) -> Box<dyn DedupScheme> {
+    match kind {
+        SchemeKind::Baseline => Box::new(Baseline::new(config)),
+        SchemeKind::DedupSha1 => Box::new(DedupSha1::new(config)),
+        SchemeKind::DeWrite => Box::new(DeWrite::new(config)),
+        SchemeKind::Esd => Box::new(Esd::new(config)),
+        SchemeKind::DedupMd5 => Box::new(HashDedup::md5(config)),
+        SchemeKind::Pde => Box::new(HashDedup::pde(config)),
+        SchemeKind::EsdFull => Box::new(EsdFull::new(config)),
+        SchemeKind::EsdNoVerify => Box::new(EsdNoVerify::new(config)),
+    }
+}
+
+/// A data-integrity violation detected during a verified run: a read
+/// returned different content than the most recent write to that address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The scheme that corrupted data.
+    pub scheme: SchemeKind,
+    /// The logical address.
+    pub addr: u64,
+    /// Index of the offending access in the trace.
+    pub access_index: usize,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} returned wrong data for address {:#x} at access {}",
+            self.scheme, self.addr, self.access_index
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Replays `trace` through `scheme`, optionally verifying every read
+/// against a shadow copy (the paper's "no data loss" guarantee, §III-E).
+///
+/// # Errors
+///
+/// With `verify` set, returns [`VerifyError`] if any read returns content
+/// that differs from the most recent write to that logical address.
+pub fn run_trace(
+    scheme: &mut dyn DedupScheme,
+    trace: &Trace,
+    config: &SystemConfig,
+    verify: bool,
+) -> Result<RunReport, VerifyError> {
+    let mut cpu = CpuModel::new(config.cpu, config.controller.write_buffer_depth);
+    let mut write_latency = LatencyHistogram::new();
+    let mut read_latency = LatencyHistogram::new();
+    let mut shadow: HashMap<u64, CacheLine> = if verify {
+        HashMap::with_capacity(trace.len() / 2)
+    } else {
+        HashMap::new()
+    };
+
+    for (i, access) in trace.iter().enumerate() {
+        cpu.execute(u64::from(access.instruction_gap));
+        let now = cpu.now();
+        match access.kind {
+            AccessKind::Write => {
+                let line = access.data.expect("write carries data");
+                let result = scheme.write(now, access.addr, line);
+                write_latency.record(result.latency);
+                let release = result
+                    .device_finish
+                    .map_or(result.processing_done, |f| f.max(result.processing_done));
+                cpu.admit_write(release);
+                if verify {
+                    shadow.insert(access.addr, line);
+                }
+            }
+            AccessKind::Read => {
+                let result = scheme.read(now, access.addr);
+                read_latency.record(result.finish.saturating_sub(now));
+                cpu.complete_read(result.finish);
+                if verify {
+                    if let Some(expected) = shadow.get(&access.addr) {
+                        if *expected != result.data {
+                            return Err(VerifyError {
+                                scheme: scheme.kind(),
+                                addr: access.addr,
+                                access_index: i,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(RunReport {
+        scheme: scheme.kind(),
+        app: trace.name.clone(),
+        stats: scheme.stats(),
+        pcm: *scheme.nvmm().stats(),
+        write_latency,
+        read_latency,
+        breakdown: scheme.breakdown(),
+        ipc: cpu.ipc(),
+        fingerprint_cache: scheme.fingerprint_cache_stats(),
+        amt_cache: scheme.amt_cache_stats(),
+        metadata: scheme.metadata_footprint(),
+        max_wear: scheme.nvmm().medium().max_wear(),
+    })
+}
+
+/// Convenience: generate a workload's trace and replay it through one
+/// scheme, with verification on.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] from [`run_trace`].
+pub fn run_app(
+    kind: SchemeKind,
+    profile: &AppProfile,
+    seed: u64,
+    accesses: usize,
+    config: &SystemConfig,
+) -> Result<RunReport, VerifyError> {
+    let trace = esd_trace::generate_trace(profile, seed, accesses);
+    let mut scheme = build_scheme(kind, config);
+    run_trace(scheme.as_mut(), &trace, config, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> Trace {
+        esd_trace::generate_trace(&AppProfile::demo(), 7, 3_000)
+    }
+
+    #[test]
+    fn all_schemes_replay_verified() {
+        let config = SystemConfig::default();
+        let trace = demo_trace();
+        for kind in SchemeKind::ALL {
+            let mut scheme = build_scheme(kind, &config);
+            let report = run_trace(scheme.as_mut(), &trace, &config, true)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(report.stats.writes_received as usize, trace.write_count());
+            assert_eq!(report.stats.reads_served as usize, trace.read_count());
+            assert!(report.ipc > 0.0, "{kind} must make progress");
+        }
+    }
+
+    #[test]
+    fn dedup_schemes_write_less_than_baseline() {
+        let config = SystemConfig::default();
+        let trace = demo_trace();
+        let mut reports = Vec::new();
+        for kind in SchemeKind::ALL {
+            let mut scheme = build_scheme(kind, &config);
+            reports.push(run_trace(scheme.as_mut(), &trace, &config, true).unwrap());
+        }
+        let baseline_writes = reports[0].nvmm_data_writes();
+        for report in &reports[1..] {
+            assert!(
+                report.nvmm_data_writes() < baseline_writes,
+                "{} wrote {} >= baseline {}",
+                report.scheme,
+                report.nvmm_data_writes(),
+                baseline_writes
+            );
+        }
+    }
+
+    #[test]
+    fn esd_eliminates_fewer_duplicates_than_full_dedup() {
+        // Selectivity: ESD must dedup less than (or equal to) full schemes,
+        // never more.
+        let config = SystemConfig::default();
+        let trace = demo_trace();
+        let mut sha1 = build_scheme(SchemeKind::DedupSha1, &config);
+        let mut esd = build_scheme(SchemeKind::Esd, &config);
+        let r_sha1 = run_trace(sha1.as_mut(), &trace, &config, true).unwrap();
+        let r_esd = run_trace(esd.as_mut(), &trace, &config, true).unwrap();
+        assert!(r_esd.write_reduction() <= r_sha1.write_reduction() + 1e-9);
+        assert!(r_esd.write_reduction() > 0.0);
+    }
+
+    #[test]
+    fn run_app_is_deterministic() {
+        let config = SystemConfig::default();
+        let p = AppProfile::demo();
+        let a = run_app(SchemeKind::Esd, &p, 3, 2_000, &config).unwrap();
+        let b = run_app(SchemeKind::Esd, &p, 3, 2_000, &config).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.write_latency, b.write_latency);
+    }
+
+    #[test]
+    fn verify_error_displays() {
+        let e = VerifyError {
+            scheme: SchemeKind::Esd,
+            addr: 0x40,
+            access_index: 3,
+        };
+        assert!(e.to_string().contains("0x40"));
+    }
+}

@@ -1,0 +1,423 @@
+//! The write-path scheme abstraction shared by Baseline, Dedup_SHA1,
+//! DeWrite and ESD, plus the common machinery (encryption, allocation,
+//! address mapping, accounting) they build on.
+
+use esd_crypto::CmeEngine;
+use esd_sim::{
+    Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown,
+};
+use esd_trace::CacheLine;
+
+use crate::alloc::PhysicalAllocator;
+use crate::amt::Amt;
+use crate::counter_cache::CounterCache;
+
+/// Identifies the four evaluated schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Encrypt-and-write, no deduplication.
+    Baseline,
+    /// Traditional full deduplication with SHA-1 fingerprints.
+    DedupSha1,
+    /// DeWrite: CRC fingerprints, prediction-driven parallel encryption,
+    /// full deduplication (MICRO'18).
+    DeWrite,
+    /// ESD: ECC-assisted, selective deduplication (this paper).
+    Esd,
+    /// Traditional full deduplication with MD5 fingerprints.
+    DedupMd5,
+    /// PDE: fingerprinting in parallel with encryption for every line
+    /// (the approach the paper's §II-C argues against).
+    Pde,
+    /// Ablation: ECC fingerprints with a full NVMM-backed store.
+    EsdFull,
+    /// Ablation: ESD that trusts ECC equality without a verify read
+    /// (unsafe; measures the verify read's cost).
+    EsdNoVerify,
+}
+
+impl SchemeKind {
+    /// The paper's four evaluated schemes, in presentation order.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::Baseline,
+        SchemeKind::DedupSha1,
+        SchemeKind::DeWrite,
+        SchemeKind::Esd,
+    ];
+
+    /// Every scheme, including the extra variants and ablations.
+    pub const EXTENDED: [SchemeKind; 8] = [
+        SchemeKind::Baseline,
+        SchemeKind::DedupSha1,
+        SchemeKind::DedupMd5,
+        SchemeKind::Pde,
+        SchemeKind::DeWrite,
+        SchemeKind::Esd,
+        SchemeKind::EsdFull,
+        SchemeKind::EsdNoVerify,
+    ];
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "Baseline",
+            SchemeKind::DedupSha1 => "Dedup_SHA1",
+            SchemeKind::DeWrite => "DeWrite",
+            SchemeKind::Esd => "ESD",
+            SchemeKind::DedupMd5 => "Dedup_MD5",
+            SchemeKind::Pde => "PDE",
+            SchemeKind::EsdFull => "ESD_Full",
+            SchemeKind::EsdNoVerify => "ESD_NoVerify",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of one write through a scheme's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResult {
+    /// When the controller pipeline finished processing (this blocks the
+    /// core; the device write itself does not).
+    pub processing_done: Ps,
+    /// Completion time of the device write, or `None` when the line was
+    /// deduplicated and nothing was written.
+    pub device_finish: Option<Ps>,
+    /// Full write-path latency (arrival to durability or dedup decision),
+    /// the quantity in the paper's latency CDFs.
+    pub latency: Ps,
+    /// Whether the line was eliminated by deduplication.
+    pub deduplicated: bool,
+}
+
+/// Outcome of one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// When decrypted data was available to the core.
+    pub finish: Ps,
+    /// The plaintext line (all-zero for never-written addresses).
+    pub data: CacheLine,
+}
+
+/// Scheme-level counters (device-level counters live in
+/// [`esd_sim::PcmStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Writes received from the LLC.
+    pub writes_received: u64,
+    /// Writes that reached the device as unique lines.
+    pub writes_unique: u64,
+    /// Writes eliminated by deduplication.
+    pub writes_deduplicated: u64,
+    /// Deduplications resolved entirely from SRAM-resident fingerprints.
+    pub dedup_cache_filtered: u64,
+    /// Deduplications that required the NVMM-resident fingerprint store.
+    pub dedup_nvmm_filtered: u64,
+    /// Fingerprint computations performed (hash/CRC; zero for ESD).
+    pub fingerprint_computations: u64,
+    /// Read-back byte-comparisons performed.
+    pub compare_reads: u64,
+    /// Comparisons that found a real duplicate.
+    pub compare_hits: u64,
+    /// DeWrite mispredictions (both directions).
+    pub mispredictions: u64,
+    /// Reads served.
+    pub reads_served: u64,
+    /// Energy spent on fingerprints and cryptography (device energy is in
+    /// the PCM statistics).
+    pub compute_energy: Energy,
+}
+
+/// NVMM- and SRAM-resident metadata footprint (paper Figure 19).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataFootprint {
+    /// Bytes of deduplication metadata resident in NVMM (fingerprint store
+    /// plus address-mapping table).
+    pub nvmm_bytes: u64,
+    /// Bytes of metadata resident in controller SRAM.
+    pub sram_bytes: u64,
+}
+
+impl MetadataFootprint {
+    /// Total across both placements.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.nvmm_bytes + self.sram_bytes
+    }
+}
+
+/// A complete write-path scheme over the simulated NVMM.
+///
+/// Implementations own their simulator instance; the trace runner drives
+/// [`DedupScheme::write`] / [`DedupScheme::read`] in program order.
+pub trait DedupScheme {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Processes one LLC eviction arriving at `now`.
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult;
+
+    /// Processes one demand read arriving at `now`.
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult;
+
+    /// Scheme-level counters.
+    fn stats(&self) -> SchemeStats;
+
+    /// The paper's four-bucket write-latency decomposition (Figure 17).
+    fn breakdown(&self) -> WriteLatencyBreakdown;
+
+    /// Current metadata footprint (Figure 19).
+    fn metadata_footprint(&self) -> MetadataFootprint;
+
+    /// The underlying memory system (device counters, medium, energy).
+    fn nvmm(&self) -> &NvmmSystem;
+
+    /// Mutable access to the memory system (fault injection in tests).
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem;
+
+    /// Fingerprint-cache statistics, if the scheme has a fingerprint
+    /// structure (`None` for Baseline).
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        None
+    }
+
+    /// AMT-cache statistics, if the scheme remaps addresses.
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        None
+    }
+}
+
+/// Shared machinery for the deduplicating schemes: NVMM, encryption engine,
+/// address mapping, physical allocation, and accounting.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub nvmm: NvmmSystem,
+    pub cme: CmeEngine,
+    pub amt: Amt,
+    pub alloc: PhysicalAllocator,
+    pub stats: SchemeStats,
+    pub breakdown: WriteLatencyBreakdown,
+    pub sram_latency: Ps,
+    /// Exposed byte-compare latency after the candidate line is read.
+    pub compare_latency: Ps,
+    /// Finite encryption-counter cache; `None` models always-resident
+    /// counters (the paper's assumption).
+    pub counters: Option<CounterCache>,
+}
+
+impl Core {
+    pub fn new(config: &SystemConfig, key: [u8; 16]) -> Self {
+        Core {
+            nvmm: NvmmSystem::new(config.pcm),
+            cme: CmeEngine::new(key),
+            amt: Amt::with_sram_latency(
+                config.controller.mapping_cache_bytes,
+                config.controller.sram_latency,
+            ),
+            alloc: PhysicalAllocator::new(),
+            stats: SchemeStats::default(),
+            breakdown: WriteLatencyBreakdown::default(),
+            sram_latency: config.controller.sram_latency,
+            compare_latency: Ps::from_ns(2),
+            counters: (config.controller.counter_cache_bytes > 0)
+                .then(|| CounterCache::new(config.controller.counter_cache_bytes)),
+        }
+    }
+
+    /// Charges one cryptographic operation's energy.
+    pub fn charge_crypt_energy(&mut self) {
+        self.stats.compute_energy += Energy::from_pj(self.cme.cost_model().crypt_energy_pj);
+    }
+
+    /// Encryption latency on the write path.
+    pub fn encrypt_latency(&self) -> Ps {
+        Ps::from_ns(self.cme.cost_model().encrypt_latency_ns)
+    }
+
+    /// Releases `logical`'s previous mapping (if different from
+    /// `keep_physical`); when the old physical line's last reference drops,
+    /// `on_free` is called so the scheme can purge its fingerprint index.
+    pub fn release_old_mapping(
+        &mut self,
+        logical: u64,
+        keep_physical: Option<u64>,
+        on_free: &mut dyn FnMut(u64),
+    ) {
+        if let Some(old) = self.amt.peek(logical) {
+            if Some(old) != keep_physical && self.alloc.decref(old) {
+                on_free(old);
+            }
+        }
+    }
+
+    /// Remaps `logical` onto an existing physical line (a successful
+    /// deduplication), handling reference counts. Returns the completion
+    /// time of the mapping update.
+    pub fn remap_to(&mut self, t: Ps, logical: u64, physical: u64, on_free: &mut dyn FnMut(u64)) -> Ps {
+        let old = self.amt.peek(logical);
+        if old == Some(physical) {
+            // Same mapping rewritten with identical content: nothing to do.
+            return t + self.sram_latency;
+        }
+        self.alloc.incref(physical);
+        self.release_old_mapping(logical, Some(physical), on_free);
+        self.amt.update(t, logical, physical, &mut self.nvmm)
+    }
+
+    /// Encrypts and writes a unique line at a freshly allocated physical
+    /// address, updating the mapping. Encryption is charged starting at `t`
+    /// unless `already_encrypted` (DeWrite's parallel path). Returns
+    /// `(processing_done, device_finish, physical)`.
+    pub fn write_unique(
+        &mut self,
+        t: Ps,
+        logical: u64,
+        line: &CacheLine,
+        already_encrypted: bool,
+        on_free: &mut dyn FnMut(u64),
+    ) -> (Ps, Ps, u64) {
+        self.release_old_mapping(logical, None, on_free);
+        let physical = self.alloc.allocate();
+        let mut t = t;
+        if let Some(counters) = self.counters.as_mut() {
+            t = counters.access(t, physical, true, &mut self.nvmm);
+        }
+        if !already_encrypted {
+            t += self.encrypt_latency();
+        }
+        self.charge_crypt_energy();
+        let cipher = self.cme.encrypt_line(physical, line.as_bytes());
+        let ecc = esd_ecc::encode_line(&cipher).to_u64();
+        let completion = self.nvmm.write_line(t, physical, cipher, ecc);
+        let processing_done = self.amt.update(t, logical, physical, &mut self.nvmm);
+        self.stats.writes_unique += 1;
+        (processing_done, completion.finish, physical)
+    }
+
+    /// Reads, ECC-corrects and decrypts the line at a *physical* address;
+    /// the decrypted plaintext is `None` when nothing was ever stored there
+    /// or the stored line has an uncorrectable (multi-bit-per-word) error.
+    pub fn read_physical(&mut self, t: Ps, physical: u64) -> (Ps, Option<CacheLine>) {
+        let (completion, stored) = self.nvmm.read_line(t, physical);
+        // The counter fetch proceeds in parallel with the data read.
+        let counter_ready = match self.counters.as_mut() {
+            Some(counters) => counters.access(t, physical, false, &mut self.nvmm),
+            None => t,
+        };
+        let finish = completion.finish.max(counter_ready)
+            + Ps::from_ns(self.cme.cost_model().decrypt_exposed_latency_ns);
+        let plain = stored.and_then(|s| {
+            // The stored ECC protects the ciphertext; correct any medium
+            // bit errors before decrypting.
+            let corrected =
+                esd_ecc::decode_line(&s.data, esd_ecc::LineEcc::from_u64(s.ecc)).ok()?;
+            self.charge_crypt_energy();
+            self.cme
+                .decrypt_line(physical, &corrected.line)
+                .ok()
+                .map(CacheLine::new)
+        });
+        (finish, plain)
+    }
+
+    /// The full mapped read path: translate via the AMT, read, decrypt.
+    pub fn read_logical(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.stats.reads_served += 1;
+        let (mapped, t) = self.amt.translate(now, logical, &mut self.nvmm);
+        match mapped {
+            Some(physical) => {
+                let (finish, plain) = self.read_physical(t, physical);
+                ReadResult {
+                    finish,
+                    data: plain.unwrap_or(CacheLine::ZERO),
+                }
+            }
+            None => ReadResult {
+                finish: t,
+                data: CacheLine::ZERO,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_kind_names_match_paper() {
+        assert_eq!(SchemeKind::Baseline.name(), "Baseline");
+        assert_eq!(SchemeKind::DedupSha1.name(), "Dedup_SHA1");
+        assert_eq!(SchemeKind::DeWrite.name(), "DeWrite");
+        assert_eq!(SchemeKind::Esd.name(), "ESD");
+        assert_eq!(SchemeKind::ALL.len(), 4);
+        assert_eq!(SchemeKind::Esd.to_string(), "ESD");
+    }
+
+    #[test]
+    fn core_unique_write_then_read_round_trips() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let line = CacheLine::from_fill(0x5A);
+        let mut freed = Vec::new();
+        let (done, finish, phys) =
+            core.write_unique(Ps::ZERO, 0x40, &line, false, &mut |p| freed.push(p));
+        assert!(finish >= done - core.sram_latency);
+        assert!(freed.is_empty());
+        let result = core.read_logical(finish, 0x40);
+        assert_eq!(result.data, line);
+        assert_eq!(core.amt.peek(0x40), Some(phys));
+    }
+
+    #[test]
+    fn overwrite_frees_previous_physical() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let mut freed = Vec::new();
+        let (_, _, p1) =
+            core.write_unique(Ps::ZERO, 0x40, &CacheLine::from_fill(1), false, &mut |p| {
+                freed.push(p)
+            });
+        let (_, _, p2) =
+            core.write_unique(Ps::ZERO, 0x40, &CacheLine::from_fill(2), false, &mut |p| {
+                freed.push(p)
+            });
+        assert_eq!(freed, vec![p1]);
+        assert_ne!(core.alloc.refcount(p2), 0);
+    }
+
+    #[test]
+    fn remap_shares_physical_and_releases_old() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let mut freed = Vec::new();
+        let (_, _, p1) =
+            core.write_unique(Ps::ZERO, 0x40, &CacheLine::from_fill(1), false, &mut |p| {
+                freed.push(p)
+            });
+        let (_, _, p2) =
+            core.write_unique(Ps::ZERO, 0x80, &CacheLine::from_fill(2), false, &mut |p| {
+                freed.push(p)
+            });
+        // Dedup 0x40 onto p2: p1 loses its only reference.
+        core.remap_to(Ps::ZERO, 0x40, p2, &mut |p| freed.push(p));
+        assert_eq!(freed, vec![p1]);
+        assert_eq!(core.alloc.refcount(p2), 2);
+        // Re-dedup of the same mapping is a no-op.
+        core.remap_to(Ps::ZERO, 0x40, p2, &mut |p| freed.push(p));
+        assert_eq!(core.alloc.refcount(p2), 2);
+    }
+
+    #[test]
+    fn read_of_unmapped_logical_returns_zero_line() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let r = core.read_logical(Ps::ZERO, 0xFFFF_0040);
+        assert!(r.data.is_zero());
+    }
+}

@@ -1,0 +1,491 @@
+//! Additional scheme variants beyond the paper's four headline systems:
+//! the PDE approach the paper argues against in §II-C, an MD5 flavor of
+//! traditional full deduplication, and two ESD ablations that isolate its
+//! design choices (selectivity and the verify read).
+
+use esd_hash::FingerprintKind;
+use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
+use esd_trace::CacheLine;
+
+use crate::efit::{Efit, EfitPolicy, REFER_MAX};
+use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::scheme::{
+    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+};
+
+/// Bytes per stored MD5 index entry: 16 B digest + 5 B physical address +
+/// 4 B reference count.
+pub const MD5_ENTRY_BYTES: usize = 25;
+
+/// A hash-trusting full-deduplication scheme, parameterized by fingerprint
+/// function — the generalization behind `Dedup_SHA1` that also yields the
+/// MD5 variant and the PDE (Parallelism of Deduplication and Encryption)
+/// approach the paper's motivation discusses.
+///
+/// In PDE mode, fingerprinting and encryption start together for *every*
+/// line, so the cheaper of the two is hidden — but the cryptographic work
+/// (and energy) on lines that turn out to be duplicates is wasted, which is
+/// the paper's §II-C argument against PDE.
+///
+/// # Examples
+///
+/// ```
+/// use esd_core::{DedupScheme, HashDedup};
+/// use esd_hash::FingerprintKind;
+/// use esd_sim::{Ps, SystemConfig};
+/// use esd_trace::CacheLine;
+///
+/// let mut pde = HashDedup::pde(&SystemConfig::default());
+/// let w = pde.write(Ps::ZERO, 0x40, CacheLine::from_fill(1));
+/// assert!(!w.deduplicated);
+/// ```
+#[derive(Debug)]
+pub struct HashDedup {
+    core: Core,
+    store: FingerprintStore,
+    algorithm: FingerprintKind,
+    /// Run fingerprinting and encryption in parallel for every line (PDE).
+    parallel_encryption: bool,
+}
+
+impl HashDedup {
+    /// Traditional MD5-based full deduplication (serial hash then encrypt).
+    #[must_use]
+    pub fn md5(config: &SystemConfig) -> Self {
+        HashDedup::with_algorithm(config, FingerprintKind::Md5, false)
+    }
+
+    /// PDE: SHA-1 fingerprinting in parallel with encryption for all lines.
+    #[must_use]
+    pub fn pde(config: &SystemConfig) -> Self {
+        HashDedup::with_algorithm(config, FingerprintKind::Sha1, true)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algorithm` is [`FingerprintKind::Ecc`] (use [`crate::Esd`]
+    /// for ECC fingerprints).
+    #[must_use]
+    pub fn with_algorithm(
+        config: &SystemConfig,
+        algorithm: FingerprintKind,
+        parallel_encryption: bool,
+    ) -> Self {
+        assert!(
+            algorithm != FingerprintKind::Ecc,
+            "use Esd for ECC fingerprints"
+        );
+        let entry_bytes = match algorithm {
+            FingerprintKind::Md5 => MD5_ENTRY_BYTES,
+            FingerprintKind::Sha1 => crate::dedup_sha1::SHA1_ENTRY_BYTES,
+            _ => crate::dewrite::DEWRITE_ENTRY_BYTES,
+        };
+        HashDedup {
+            core: Core::new(config, [0x1D; 16]),
+            store: FingerprintStore::new(config.controller.fingerprint_cache_bytes, entry_bytes),
+            algorithm,
+            parallel_encryption,
+        }
+    }
+
+    /// The fingerprint algorithm in use.
+    #[must_use]
+    pub fn algorithm(&self) -> FingerprintKind {
+        self.algorithm
+    }
+}
+
+impl DedupScheme for HashDedup {
+    fn kind(&self) -> SchemeKind {
+        if self.parallel_encryption {
+            SchemeKind::Pde
+        } else {
+            SchemeKind::DedupMd5
+        }
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        let core = &mut self.core;
+        core.stats.writes_received += 1;
+
+        let cost = self.algorithm.cost();
+        let fp = self
+            .algorithm
+            .compute_key(line.as_bytes())
+            .expect("hash fingerprint");
+        core.stats.fingerprint_computations += 1;
+        core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
+        core.breakdown.fingerprint_compute += Ps::from_ns(cost.latency_ns);
+
+        let already_encrypted = self.parallel_encryption;
+        let t = if self.parallel_encryption {
+            // PDE: every line is speculatively encrypted alongside hashing.
+            core.charge_crypt_energy();
+            now + Ps::from_ns(cost.latency_ns.max(core.encrypt_latency().as_ns()))
+        } else {
+            now + Ps::from_ns(cost.latency_ns)
+        };
+
+        let lookup = self.store.lookup(t, fp, &mut core.nvmm);
+        if lookup.source != LookupSource::Cache {
+            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        }
+        let t = lookup.done;
+
+        match lookup.physical {
+            Some(physical) => {
+                core.stats.writes_deduplicated += 1;
+                match lookup.source {
+                    LookupSource::Cache => core.stats.dedup_cache_filtered += 1,
+                    _ => core.stats.dedup_nvmm_filtered += 1,
+                }
+                let done = core.remap_to(t, logical, physical, &mut |_| {});
+                WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                }
+            }
+            None => {
+                let before_write = t;
+                let (done, finish, physical) =
+                    core.write_unique(t, logical, &line, already_encrypted, &mut |_| {});
+                // Index entries pin their lines: full dedup never reclaims.
+                core.alloc.incref(physical);
+                self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.breakdown.unique_write += finish.saturating_sub(before_write);
+                WriteResult {
+                    processing_done: done,
+                    device_finish: Some(finish),
+                    latency: finish.saturating_sub(now),
+                    deduplicated: false,
+                }
+            }
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            nvmm_bytes: self.store.nvmm_bytes() + self.core.amt.nvmm_bytes(),
+            sram_bytes: 0,
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.store.cache_stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+/// ESD ablation: ECC fingerprints with a **full** NVMM-backed fingerprint
+/// store instead of the selective SRAM-only EFIT.
+///
+/// Isolates the value of selectivity: this variant catches every duplicate
+/// an ECC fingerprint can catch, but pays the fingerprint NVMM lookups that
+/// selective ESD was designed to eliminate.
+#[derive(Debug)]
+pub struct EsdFull {
+    core: Core,
+    store: FingerprintStore,
+}
+
+impl EsdFull {
+    /// Creates the full-store ESD ablation.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        EsdFull {
+            core: Core::new(config, [0xEF; 16]),
+            // ECC entry: 8 B fingerprint + 5 B physical + 1 B refer.
+            store: FingerprintStore::new(config.controller.fingerprint_cache_bytes, 14),
+        }
+    }
+}
+
+impl DedupScheme for EsdFull {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::EsdFull
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        let core = &mut self.core;
+        core.stats.writes_received += 1;
+        let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
+
+        let lookup = self.store.lookup(now, fp, &mut core.nvmm);
+        if lookup.source != LookupSource::Cache {
+            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(now);
+        }
+        let mut t = lookup.done;
+
+        if let Some(physical) = lookup.physical {
+            // Verify read, as in real ESD (ECC equality is only similarity).
+            let before = t;
+            let (finish, stored_plain) = core.read_physical(t, physical);
+            t = finish + core.compare_latency;
+            core.breakdown.compare_read += t.saturating_sub(before);
+            core.stats.compare_reads += 1;
+            if stored_plain.as_ref() == Some(&line) {
+                core.stats.compare_hits += 1;
+                core.stats.writes_deduplicated += 1;
+                match lookup.source {
+                    LookupSource::Cache => core.stats.dedup_cache_filtered += 1,
+                    _ => core.stats.dedup_nvmm_filtered += 1,
+                }
+                let done = core.remap_to(t, logical, physical, &mut |_| {});
+                return WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                };
+            }
+        }
+
+        let before_write = t;
+        let (done, finish, physical) = core.write_unique(t, logical, &line, false, &mut |_| {});
+        if lookup.physical.is_none() {
+            // Index entries pin their lines: full dedup never reclaims.
+            core.alloc.incref(physical);
+            self.store.insert(done, fp, physical, &mut core.nvmm);
+        }
+        core.breakdown.unique_write += finish.saturating_sub(before_write);
+        WriteResult {
+            processing_done: done,
+            device_finish: Some(finish),
+            latency: finish.saturating_sub(now),
+            deduplicated: false,
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            nvmm_bytes: self.store.nvmm_bytes() + self.core.amt.nvmm_bytes(),
+            sram_bytes: 0,
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.store.cache_stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+/// ESD ablation: skip the byte-by-byte verify read and trust ECC equality.
+///
+/// **Unsafe for data**: ECC collisions silently alias distinct lines (see
+/// `fig08_collisions` — byte-granularity edits can collide). This variant
+/// exists purely to measure what the verify read costs; verified runs are
+/// expected to fail on collision-prone workloads.
+#[derive(Debug)]
+pub struct EsdNoVerify {
+    core: Core,
+    efit: Efit,
+}
+
+impl EsdNoVerify {
+    /// Creates the no-verify ablation with LRCU replacement.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        EsdNoVerify {
+            core: Core::new(config, [0xEA; 16]),
+            efit: Efit::new(
+                config.controller.fingerprint_cache_bytes,
+                EfitPolicy::Lrcu,
+            ),
+        }
+    }
+}
+
+impl DedupScheme for EsdNoVerify {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::EsdNoVerify
+    }
+
+    fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.core.stats.writes_received += 1;
+        let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
+        let t = now + self.core.sram_latency;
+
+        if let Some(entry) = self.efit.lookup(fp) {
+            if entry.refer < REFER_MAX {
+                // Trust the fingerprint outright — no read, no compare.
+                self.core.stats.writes_deduplicated += 1;
+                self.core.stats.dedup_cache_filtered += 1;
+                self.efit.bump_ref(fp);
+                let done = self.core.remap_to(t, logical, entry.physical, &mut |_| {});
+                return WriteResult {
+                    processing_done: done,
+                    device_finish: None,
+                    latency: done.saturating_sub(now),
+                    deduplicated: true,
+                };
+            }
+        }
+        let core = &mut self.core;
+        let before_write = t;
+        let (done, finish, physical) = core.write_unique(t, logical, &line, false, &mut |_| {});
+        core.alloc.incref(physical); // EFIT pin
+        if let Some(displaced) = self.efit.insert(fp, physical) {
+            core.alloc.decref(displaced);
+        }
+        core.breakdown.unique_write += finish.saturating_sub(before_write);
+        WriteResult {
+            processing_done: done,
+            device_finish: Some(finish),
+            latency: finish.saturating_sub(now),
+            deduplicated: false,
+        }
+    }
+
+    fn read(&mut self, now: Ps, logical: u64) -> ReadResult {
+        self.core.read_logical(now, logical)
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.core.stats
+    }
+
+    fn breakdown(&self) -> WriteLatencyBreakdown {
+        self.core.breakdown
+    }
+
+    fn metadata_footprint(&self) -> MetadataFootprint {
+        MetadataFootprint {
+            nvmm_bytes: self.core.amt.nvmm_bytes(),
+            sram_bytes: self.efit.sram_bytes(),
+        }
+    }
+
+    fn nvmm(&self) -> &NvmmSystem {
+        &self.core.nvmm
+    }
+
+    fn nvmm_mut(&mut self) -> &mut NvmmSystem {
+        &mut self.core.nvmm
+    }
+
+    fn fingerprint_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.efit.stats())
+    }
+
+    fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
+        Some(self.core.amt.cache_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_variant_deduplicates_and_round_trips() {
+        let config = SystemConfig::default();
+        let mut s = HashDedup::md5(&config);
+        assert_eq!(s.algorithm(), FingerprintKind::Md5);
+        let line = CacheLine::from_fill(0x12);
+        let w1 = s.write(Ps::ZERO, 0x00, line);
+        let w2 = s.write(Ps::from_us(1), 0x40, line);
+        assert!(!w1.deduplicated && w2.deduplicated);
+        assert_eq!(s.read(Ps::from_us(2), 0x40).data, line);
+        assert_eq!(s.kind(), SchemeKind::DedupMd5);
+    }
+
+    #[test]
+    fn pde_hides_hash_latency_but_wastes_crypt_energy() {
+        let config = SystemConfig::default();
+        let mut pde = HashDedup::pde(&config);
+        let mut serial = crate::DedupSha1::new(&config);
+        let line = CacheLine::from_fill(0x34);
+
+        // Unique write: PDE's latency == SHA1 path (hash dominates 40ns AES)
+        // but must not be *longer* than serial hash-then-encrypt.
+        let wp = pde.write(Ps::ZERO, 0x00, line);
+        let ws = serial.write(Ps::ZERO, 0x00, line);
+        assert!(wp.latency < ws.latency, "PDE hides encryption");
+        assert_eq!(pde.kind(), SchemeKind::Pde);
+
+        // Duplicate write: PDE still encrypted it — wasted energy.
+        let e_before = pde.stats().compute_energy;
+        let w = pde.write(Ps::from_us(1), 0x40, line);
+        assert!(w.deduplicated);
+        assert!(pde.stats().compute_energy > e_before, "crypt energy wasted on dup");
+    }
+
+    #[test]
+    fn esd_full_catches_more_duplicates_but_touches_nvmm() {
+        let config = SystemConfig::default();
+        let mut full = EsdFull::new(&config);
+        let a = CacheLine::from_fill(1);
+        full.write(Ps::ZERO, 0x00, a);
+        let w = full.write(Ps::from_us(1), 0x40, a);
+        assert!(w.deduplicated);
+        // Unique writes pay fingerprint NVMM lookups (the cost ESD avoids).
+        full.write(Ps::from_us(2), 0x80, CacheLine::from_fill(2));
+        assert!(full.nvmm().stats().metadata.reads > 0);
+        assert_eq!(full.kind(), SchemeKind::EsdFull);
+        assert_eq!(full.read(Ps::from_us(3), 0x40).data, a);
+    }
+
+    #[test]
+    fn esd_no_verify_skips_compare_reads() {
+        let config = SystemConfig::default();
+        let mut s = EsdNoVerify::new(&config);
+        let line = CacheLine::from_fill(0x56);
+        s.write(Ps::ZERO, 0x00, line);
+        let w = s.write(Ps::from_us(1), 0x40, line);
+        assert!(w.deduplicated);
+        assert_eq!(s.stats().compare_reads, 0, "no verify reads by design");
+        // Dedup decision is SRAM-speed only.
+        assert!(w.latency < Ps::from_ns(15));
+        assert_eq!(s.kind(), SchemeKind::EsdNoVerify);
+    }
+}

@@ -1,0 +1,171 @@
+//! Model-based property tests: the EFIT against a naive reference
+//! implementation of LRCU, and structural invariants of the allocator and
+//! predictor under arbitrary operation sequences.
+
+use esd_core::{DupPredictor, Efit, EfitPolicy, PhysicalAllocator, EFIT_ENTRY_BYTES};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference LRCU: a plain map plus linear-scan victim selection.
+#[derive(Default)]
+struct NaiveLrcu {
+    entries: HashMap<u64, (u64, u8, u64)>, // fp -> (physical, refer, stamp)
+    capacity: usize,
+    stamp: u64,
+}
+
+impl NaiveLrcu {
+    fn new(capacity: usize) -> Self {
+        NaiveLrcu {
+            capacity,
+            ..NaiveLrcu::default()
+        }
+    }
+
+    fn lookup(&self, fp: u64) -> Option<(u64, u8)> {
+        self.entries.get(&fp).map(|&(p, r, _)| (p, r))
+    }
+
+    fn bump(&mut self, fp: u64) {
+        if let Some(e) = self.entries.get_mut(&fp) {
+            e.1 = e.1.saturating_add(1);
+        }
+    }
+
+    fn insert(&mut self, fp: u64, physical: u64) {
+        self.stamp += 1;
+        if self.entries.contains_key(&fp) {
+            self.entries.insert(fp, (physical, 1, self.stamp));
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // Victim: lowest (refer, stamp).
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(fp, &(_, r, s))| (r, s, **fp))
+                .map(|(fp, _)| fp)
+                .expect("nonempty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(fp, (physical, 1, self.stamp));
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Bump(u64),
+    Insert(u64, u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u64..24).prop_map(Op::Lookup),
+        (0u64..24).prop_map(Op::Bump),
+        (0u64..24, 0u64..1024).prop_map(|(fp, p)| Op::Insert(fp, p * 64)),
+    ];
+    proptest::collection::vec(op, 1..300)
+}
+
+proptest! {
+    /// The EFIT agrees with the naive LRCU reference on every lookup, for
+    /// arbitrary interleavings of lookups, bumps and inserts.
+    /// (Decay is disabled — the reference does not model it.)
+    #[test]
+    fn efit_matches_reference_lrcu(ops in arb_ops()) {
+        const CAPACITY: usize = 8;
+        let mut efit = Efit::new((EFIT_ENTRY_BYTES * CAPACITY) as u64, EfitPolicy::Lrcu);
+        efit.set_decay_interval(u64::MAX);
+        let mut reference = NaiveLrcu::new(CAPACITY);
+
+        for op in &ops {
+            match *op {
+                Op::Lookup(fp) => {
+                    let got = efit.lookup(fp).map(|e| (e.physical, e.refer));
+                    prop_assert_eq!(got, reference.lookup(fp), "lookup({})", fp);
+                }
+                Op::Bump(fp) => {
+                    efit.bump_ref(fp);
+                    reference.bump(fp);
+                }
+                Op::Insert(fp, p) => {
+                    efit.insert(fp, p);
+                    reference.insert(fp, p);
+                }
+            }
+            prop_assert_eq!(efit.len(), reference.entries.len());
+            prop_assert!(efit.len() <= CAPACITY);
+        }
+    }
+
+    /// Allocator refcounts never go negative, freed lines are recycled, and
+    /// live accounting matches a reference counter.
+    #[test]
+    fn allocator_accounting_is_exact(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut alloc = PhysicalAllocator::new();
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 => live.push(alloc.allocate()),
+                1 => {
+                    if let Some(&line) = live.first() {
+                        alloc.incref(line);
+                        live.push(line);
+                    }
+                }
+                _ => {
+                    if let Some(line) = live.pop() {
+                        let freed = alloc.decref(line);
+                        let remaining = live.iter().filter(|&&l| l == line).count();
+                        prop_assert_eq!(freed, remaining == 0);
+                    }
+                }
+            }
+            let distinct: std::collections::HashSet<_> = live.iter().collect();
+            prop_assert_eq!(alloc.live_lines(), distinct.len());
+            for &line in &distinct {
+                prop_assert_eq!(
+                    alloc.refcount(*line) as usize,
+                    live.iter().filter(|&&l| l == *line).count()
+                );
+            }
+        }
+    }
+
+    /// The predictor's accuracy counters always sum to the number of
+    /// updates, and per-address counters stay within their two bits.
+    #[test]
+    fn predictor_counters_stay_bounded(
+        updates in proptest::collection::vec((0u64..8, any::<bool>()), 1..200)
+    ) {
+        let mut p = DupPredictor::new();
+        for &(addr, dup) in &updates {
+            p.update(addr * 64, dup);
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.correct + s.incorrect, updates.len() as u64);
+        prop_assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
+    }
+}
+
+/// Repeating one duplicate content forever: the predictor converges to
+/// always-correct, LRCU keeps the hot entry forever.
+#[test]
+fn hot_entry_survives_arbitrary_cold_churn() {
+    const CAPACITY: usize = 4;
+    let mut efit = Efit::new((EFIT_ENTRY_BYTES * CAPACITY) as u64, EfitPolicy::Lrcu);
+    efit.set_decay_interval(u64::MAX);
+    efit.insert(999, 0x1000);
+    for _ in 0..10 {
+        efit.bump_ref(999);
+    }
+    // Flood with cold entries far beyond capacity.
+    for fp in 0..1000u64 {
+        efit.insert(fp, fp * 64);
+    }
+    assert!(
+        efit.lookup(999).is_some(),
+        "high-reference entry must survive cold churn under LRCU"
+    );
+}

@@ -1,0 +1,305 @@
+//! The per-word Hamming(72,64) SEC-DED codec.
+//!
+//! The codeword has 72 bits: 64 data bits, 7 Hamming check bits and one
+//! overall-parity bit. Check bits sit at the power-of-two positions
+//! `1, 2, 4, 8, 16, 32, 64` of the (1-indexed) 71-bit Hamming codeword; data
+//! bits fill the remaining positions `3..=71`. The eighth ECC bit is the
+//! overall parity of the 71 Hamming bits, which upgrades single-error
+//! correction to single-error-correct / double-error-detect (SEC-DED).
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of Hamming check bits (excluding the overall parity bit).
+const CHECK_BITS: u32 = 7;
+/// Highest used codeword position (1-indexed).
+const MAX_POS: usize = 71;
+
+/// `POS_OF_DATA[i]` is the 1-indexed codeword position of data bit `i`.
+const POS_OF_DATA: [u8; 64] = build_pos_of_data();
+/// `DATA_OF_POS[p]` is `data_index + 1` when position `p` holds a data bit,
+/// or `0` when it holds a check bit (or is unused).
+const DATA_OF_POS: [u8; MAX_POS + 1] = build_data_of_pos();
+/// `CHECK_MASK[c]` selects the data bits covered by check bit `c`
+/// (the check bit at position `1 << c`).
+const CHECK_MASK: [u64; CHECK_BITS as usize] = build_check_masks();
+
+const fn build_pos_of_data() -> [u8; 64] {
+    let mut table = [0u8; 64];
+    let mut pos = 1usize;
+    let mut idx = 0usize;
+    while pos <= MAX_POS {
+        if !pos.is_power_of_two() {
+            table[idx] = pos as u8;
+            idx += 1;
+        }
+        pos += 1;
+    }
+    table
+}
+
+const fn build_data_of_pos() -> [u8; MAX_POS + 1] {
+    let mut table = [0u8; MAX_POS + 1];
+    let mut idx = 0usize;
+    while idx < 64 {
+        table[POS_OF_DATA[idx] as usize] = idx as u8 + 1;
+        idx += 1;
+    }
+    table
+}
+
+const fn build_check_masks() -> [u64; CHECK_BITS as usize] {
+    let mut masks = [0u64; CHECK_BITS as usize];
+    let mut c = 0usize;
+    while c < CHECK_BITS as usize {
+        let mut i = 0usize;
+        while i < 64 {
+            if POS_OF_DATA[i] as usize & (1 << c) != 0 {
+                masks[c] |= 1u64 << i;
+            }
+            i += 1;
+        }
+        c += 1;
+    }
+    masks
+}
+
+#[inline]
+fn parity64(x: u64) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Computes the 8-bit SEC-DED ECC for a 64-bit data word.
+///
+/// Bits `0..7` of the result are the seven Hamming check bits (bit `c`
+/// corresponds to codeword position `1 << c`); bit 7 is the overall parity
+/// over the 71 Hamming codeword bits.
+///
+/// # Examples
+///
+/// ```
+/// let ecc = esd_ecc::encode_word(0xDEAD_BEEF_CAFE_F00D);
+/// let decoded = esd_ecc::decode_word(0xDEAD_BEEF_CAFE_F00D, ecc).unwrap();
+/// assert_eq!(decoded.data, 0xDEAD_BEEF_CAFE_F00D);
+/// ```
+#[must_use]
+pub fn encode_word(data: u64) -> u8 {
+    let mut ecc = 0u8;
+    for (c, mask) in CHECK_MASK.iter().enumerate() {
+        ecc |= parity64(data & mask) << c;
+    }
+    // Overall parity over all 71 Hamming bits = data bits XOR check bits.
+    let check_parity = ((ecc & 0x7F).count_ones() & 1) as u8;
+    let overall = parity64(data) ^ check_parity;
+    ecc | (overall << 7)
+}
+
+/// Which codeword bit a successful single-error correction flipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrectedBit {
+    /// A data bit; the payload is the data bit index `0..64`.
+    Data(u8),
+    /// One of the seven Hamming check bits; the payload is the check index
+    /// `0..7`.
+    Check(u8),
+    /// The overall-parity bit itself.
+    OverallParity,
+}
+
+impl fmt::Display for CorrectedBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrectedBit::Data(i) => write!(f, "data bit {i}"),
+            CorrectedBit::Check(c) => write!(f, "check bit {c}"),
+            CorrectedBit::OverallParity => write!(f, "overall parity bit"),
+        }
+    }
+}
+
+/// The result of decoding one protected word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordDecode {
+    /// The (possibly corrected) data word.
+    pub data: u64,
+    /// `Some` when a single-bit error was detected and corrected.
+    pub corrected: Option<CorrectedBit>,
+}
+
+/// Error returned by [`decode_word`] when the stored word cannot be
+/// reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeWordError {
+    /// A double-bit error was detected (non-zero syndrome, clean overall
+    /// parity). SEC-DED detects but cannot correct this case.
+    DoubleError,
+    /// The syndrome points at an unused codeword position, which only a
+    /// multi-bit error can produce.
+    InvalidSyndrome(u8),
+}
+
+impl fmt::Display for DecodeWordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeWordError::DoubleError => write!(f, "uncorrectable double-bit error"),
+            DecodeWordError::InvalidSyndrome(s) => {
+                write!(f, "multi-bit error produced invalid syndrome {s}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeWordError {}
+
+/// Decodes a 64-bit word against its stored 8-bit ECC, correcting a
+/// single-bit error if present.
+///
+/// # Errors
+///
+/// Returns [`DecodeWordError::DoubleError`] when a double-bit error is
+/// detected, and [`DecodeWordError::InvalidSyndrome`] when the syndrome is
+/// inconsistent with any single-bit flip (a sure sign of 3+ flipped bits).
+///
+/// # Examples
+///
+/// ```
+/// let data = 0x0123_4567_89AB_CDEF_u64;
+/// let ecc = esd_ecc::encode_word(data);
+/// // Flip one data bit in "memory":
+/// let decoded = esd_ecc::decode_word(data ^ (1 << 17), ecc).unwrap();
+/// assert_eq!(decoded.data, data);
+/// assert!(decoded.corrected.is_some());
+/// ```
+pub fn decode_word(data: u64, ecc: u8) -> Result<WordDecode, DecodeWordError> {
+    let expected = encode_word(data);
+    let syndrome = (expected ^ ecc) & 0x7F;
+    // Overall parity across the *received* 72-bit codeword (possibly
+    // corrupted data bits + the stored check and parity bits): zero when an
+    // even number of bits flipped, one when an odd number flipped.
+    let parity_mismatch = (parity64(data) ^ ((ecc.count_ones() & 1) as u8)) != 0;
+
+    match (syndrome, parity_mismatch) {
+        (0, false) => Ok(WordDecode {
+            data,
+            corrected: None,
+        }),
+        (0, true) => Ok(WordDecode {
+            data,
+            corrected: Some(CorrectedBit::OverallParity),
+        }),
+        (s, true) => {
+            let pos = s as usize;
+            if pos > MAX_POS {
+                return Err(DecodeWordError::InvalidSyndrome(s));
+            }
+            if pos.is_power_of_two() {
+                // A stored check bit flipped; the data itself is intact.
+                Ok(WordDecode {
+                    data,
+                    corrected: Some(CorrectedBit::Check(pos.trailing_zeros() as u8)),
+                })
+            } else {
+                let idx = DATA_OF_POS[pos] - 1;
+                Ok(WordDecode {
+                    data: data ^ (1u64 << idx),
+                    corrected: Some(CorrectedBit::Data(idx)),
+                })
+            }
+        }
+        (_, false) => Err(DecodeWordError::DoubleError),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_tables_are_consistent() {
+        // 64 data positions, none a power of two, all distinct and <= 71.
+        let mut seen = [false; MAX_POS + 1];
+        for (i, &p) in POS_OF_DATA.iter().enumerate() {
+            let p = p as usize;
+            assert!((3..=MAX_POS).contains(&p), "data bit {i} at bad position {p}");
+            assert!(!p.is_power_of_two());
+            assert!(!seen[p], "position {p} reused");
+            seen[p] = true;
+            assert_eq!(DATA_OF_POS[p] as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn clean_word_round_trips() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF, 0x8000_0000_0000_0001] {
+            let ecc = encode_word(data);
+            let d = decode_word(data, ecc).unwrap();
+            assert_eq!(d.data, data);
+            assert_eq!(d.corrected, None);
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        let data = 0x0123_4567_89AB_CDEF_u64;
+        let ecc = encode_word(data);
+        for bit in 0..64 {
+            let corrupted = data ^ (1u64 << bit);
+            let d = decode_word(corrupted, ecc).unwrap();
+            assert_eq!(d.data, data, "bit {bit} not corrected");
+            assert_eq!(d.corrected, Some(CorrectedBit::Data(bit as u8)));
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_is_tolerated() {
+        let data = 0xF0F0_F0F0_0F0F_0F0F_u64;
+        let ecc = encode_word(data);
+        for c in 0..7 {
+            let d = decode_word(data, ecc ^ (1 << c)).unwrap();
+            assert_eq!(d.data, data);
+            assert_eq!(d.corrected, Some(CorrectedBit::Check(c as u8)));
+        }
+        let d = decode_word(data, ecc ^ 0x80).unwrap();
+        assert_eq!(d.corrected, Some(CorrectedBit::OverallParity));
+    }
+
+    #[test]
+    fn double_data_bit_flips_are_detected() {
+        let data = 0x5555_AAAA_3333_CCCC_u64;
+        let ecc = encode_word(data);
+        for (a, b) in [(0u8, 1u8), (5, 40), (62, 63), (13, 31)] {
+            let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
+            assert_eq!(
+                decode_word(corrupted, ecc),
+                Err(DecodeWordError::DoubleError),
+                "flips {a},{b} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn data_plus_check_flip_is_detected_as_double() {
+        let data = 0x1111_2222_3333_4444_u64;
+        let ecc = encode_word(data);
+        // One data bit + one check bit: parity stays clean, syndrome != 0.
+        let res = decode_word(data ^ 1, ecc ^ 0b10);
+        assert_eq!(res, Err(DecodeWordError::DoubleError));
+    }
+
+    #[test]
+    fn ecc_differs_for_single_bit_data_changes() {
+        // The code has minimum distance 4: changing one data bit must change
+        // the check bits (otherwise single-bit errors would be undetectable).
+        let data = 0u64;
+        let base = encode_word(data);
+        for bit in 0..64 {
+            assert_ne!(encode_word(data ^ (1u64 << bit)), base);
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        assert!(!DecodeWordError::DoubleError.to_string().is_empty());
+        assert!(!DecodeWordError::InvalidSyndrome(99).to_string().is_empty());
+        assert!(!CorrectedBit::Data(3).to_string().is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Hsiao (72,64) SEC-DED — the odd-weight-column code used by most real
+//! memory controllers (faster decoders and better miscorrection behavior
+//! than the classic Hamming arrangement).
+//!
+//! Every column of the parity-check matrix has odd weight: the 8 check
+//! bits use the weight-1 unit columns, and the 64 data bits use all 56
+//! weight-3 columns plus 8 weight-5 columns. Single errors produce an
+//! odd-weight syndrome equal to the flipped bit's column; double errors
+//! produce a nonzero even-weight syndrome — cleanly detectable.
+//!
+//! Provided as an alternative to [`crate::encode_word`] so the effect of
+//! codec choice on ECC-fingerprint behavior can be measured.
+
+use std::sync::OnceLock;
+
+use crate::hamming::{CorrectedBit, DecodeWordError, WordDecode};
+
+/// The 64 data-bit columns: all 56 weight-3 bytes, then the first 8
+/// weight-5 bytes, in ascending numeric order.
+fn data_columns() -> &'static [u8; 64] {
+    static COLUMNS: OnceLock<[u8; 64]> = OnceLock::new();
+    COLUMNS.get_or_init(|| {
+        let mut cols = [0u8; 64];
+        let mut idx = 0usize;
+        for weight in [3u32, 5] {
+            let mut value = 0u16;
+            while value <= 0xFF && idx < 64 {
+                if (value as u8).count_ones() == weight {
+                    cols[idx] = value as u8;
+                    idx += 1;
+                }
+                value += 1;
+            }
+        }
+        assert_eq!(idx, 64, "exactly 64 odd-weight columns");
+        cols
+    })
+}
+
+/// Check-bit masks: `masks[c]` selects the data bits whose column has row
+/// `c` set.
+fn check_masks() -> &'static [u64; 8] {
+    static MASKS: OnceLock<[u64; 8]> = OnceLock::new();
+    MASKS.get_or_init(|| {
+        let cols = data_columns();
+        let mut masks = [0u64; 8];
+        for (bit, &col) in cols.iter().enumerate() {
+            for (c, mask) in masks.iter_mut().enumerate() {
+                if col & (1 << c) != 0 {
+                    *mask |= 1u64 << bit;
+                }
+            }
+        }
+        masks
+    })
+}
+
+/// Reverse map: column byte -> data bit index + 1 (0 = not a data column).
+fn column_index() -> &'static [u8; 256] {
+    static INDEX: OnceLock<[u8; 256]> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut index = [0u8; 256];
+        for (bit, &col) in data_columns().iter().enumerate() {
+            index[col as usize] = bit as u8 + 1;
+        }
+        index
+    })
+}
+
+/// Computes the 8-bit Hsiao SEC-DED check byte for a 64-bit word.
+///
+/// # Examples
+///
+/// ```
+/// let ecc = esd_ecc::hsiao::encode_word(0xFEED_FACE_DEAD_BEEF);
+/// let d = esd_ecc::hsiao::decode_word(0xFEED_FACE_DEAD_BEEF, ecc).unwrap();
+/// assert_eq!(d.data, 0xFEED_FACE_DEAD_BEEF);
+/// ```
+#[must_use]
+pub fn encode_word(data: u64) -> u8 {
+    let masks = check_masks();
+    let mut ecc = 0u8;
+    for (c, &mask) in masks.iter().enumerate() {
+        ecc |= (((data & mask).count_ones() & 1) as u8) << c;
+    }
+    ecc
+}
+
+/// Decodes a word against its stored Hsiao check byte, correcting a single
+/// flipped bit.
+///
+/// # Errors
+///
+/// Returns [`DecodeWordError::DoubleError`] for even-weight nonzero
+/// syndromes (two flipped bits) and
+/// [`DecodeWordError::InvalidSyndrome`] for odd-weight syndromes that match
+/// no column (three or more flipped bits).
+pub fn decode_word(data: u64, ecc: u8) -> Result<WordDecode, DecodeWordError> {
+    let syndrome = encode_word(data) ^ ecc;
+    if syndrome == 0 {
+        return Ok(WordDecode {
+            data,
+            corrected: None,
+        });
+    }
+    if syndrome.count_ones().is_multiple_of(2) {
+        return Err(DecodeWordError::DoubleError);
+    }
+    if syndrome.count_ones() == 1 {
+        // A stored check bit flipped; data is intact.
+        return Ok(WordDecode {
+            data,
+            corrected: Some(CorrectedBit::Check(syndrome.trailing_zeros() as u8)),
+        });
+    }
+    match column_index()[syndrome as usize] {
+        0 => Err(DecodeWordError::InvalidSyndrome(syndrome)),
+        idx_plus_one => {
+            let bit = idx_plus_one - 1;
+            Ok(WordDecode {
+                data: data ^ (1u64 << bit),
+                corrected: Some(CorrectedBit::Data(bit)),
+            })
+        }
+    }
+}
+
+/// Computes the packed 64-bit Hsiao line ECC (8 words x 8 bits).
+#[must_use]
+pub fn encode_line(line: &[u8; 64]) -> u64 {
+    let mut out = [0u8; 8];
+    for (w, chunk) in line.chunks_exact(8).enumerate() {
+        out[w] = encode_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    u64::from_le_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_odd_weight_and_distinct() {
+        let cols = data_columns();
+        let set: std::collections::HashSet<u8> = cols.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+        for &c in cols.iter() {
+            assert_eq!(c.count_ones() % 2, 1, "column {c:#04x} must be odd weight");
+            assert!(c.count_ones() >= 3, "unit columns are reserved for checks");
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let d = decode_word(data, encode_word(data)).unwrap();
+            assert_eq!(d.data, data);
+            assert!(d.corrected.is_none());
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit() {
+        let data = 0xA5A5_5A5A_F00F_0FF0u64;
+        let ecc = encode_word(data);
+        for bit in 0..64 {
+            let d = decode_word(data ^ (1u64 << bit), ecc).unwrap();
+            assert_eq!(d.data, data, "bit {bit}");
+            assert_eq!(d.corrected, Some(CorrectedBit::Data(bit as u8)));
+        }
+    }
+
+    #[test]
+    fn tolerates_check_bit_flips() {
+        let data = 0x1234_5678_9ABC_DEF0u64;
+        let ecc = encode_word(data);
+        for c in 0..8 {
+            let d = decode_word(data, ecc ^ (1 << c)).unwrap();
+            assert_eq!(d.data, data);
+            assert_eq!(d.corrected, Some(CorrectedBit::Check(c)));
+        }
+    }
+
+    #[test]
+    fn detects_double_bit_errors() {
+        let data = 0xDEAD_BEEF_0BAD_F00Du64;
+        let ecc = encode_word(data);
+        for (a, b) in [(0u8, 1u8), (7, 63), (30, 31), (12, 45)] {
+            let corrupted = data ^ (1u64 << a) ^ (1u64 << b);
+            assert_eq!(
+                decode_word(corrupted, ecc),
+                Err(DecodeWordError::DoubleError),
+                "bits {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_ecc_is_content_sensitive() {
+        let a = [0x11u8; 64];
+        let mut b = a;
+        b[20] ^= 1;
+        assert_ne!(encode_line(&a), encode_line(&b));
+        assert_eq!(encode_line(&a), encode_line(&a));
+    }
+
+    #[test]
+    fn hamming_and_hsiao_fingerprints_differ() {
+        // Same data, different codes — codec choice changes the fingerprint
+        // space (and its collision structure).
+        let line = [0x3Cu8; 64];
+        assert_ne!(
+            encode_line(&line),
+            crate::encode_line(&line).to_u64(),
+            "distinct codes should give distinct line ECCs"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! The storage medium: actual line contents held by the PCM array.
+//!
+//! The timing model ([`crate::PcmDevice`]) answers *when*; the medium answers
+//! *what*. Keeping real bytes (and their stored ECC) lets the dedup schemes
+//! perform genuine byte-by-byte comparisons — so fingerprint collisions
+//! resolve the way they would in hardware — and lets tests inject bit errors
+//! that the ECC path must correct.
+
+use std::collections::HashMap;
+
+use crate::config::LINE_BYTES;
+
+/// One stored line: content plus its stored per-line ECC (as a packed u64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredLine {
+    /// The 64 stored bytes (ciphertext, in an encrypted-NVMM system).
+    pub data: [u8; LINE_BYTES],
+    /// The packed per-line ECC stored alongside the data.
+    pub ecc: u64,
+}
+
+/// Sparse content store for the PCM array, plus write-wear accounting.
+///
+/// # Examples
+///
+/// ```
+/// use esd_sim::Medium;
+/// let mut m = Medium::new();
+/// m.store(0x40, [9u8; 64], 0x1234);
+/// assert_eq!(m.load(0x40).unwrap().data[0], 9);
+/// assert_eq!(m.wear(0x40), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Medium {
+    lines: HashMap<u64, StoredLine>,
+    wear: HashMap<u64, u64>,
+}
+
+impl Medium {
+    /// Creates an empty medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Medium::default()
+    }
+
+    /// Stores a line, bumping its wear counter.
+    pub fn store(&mut self, line_addr: u64, data: [u8; LINE_BYTES], ecc: u64) {
+        self.lines.insert(line_addr, StoredLine { data, ecc });
+        *self.wear.entry(line_addr).or_insert(0) += 1;
+    }
+
+    /// Loads a line, or `None` if the address was never written.
+    #[must_use]
+    pub fn load(&self, line_addr: u64) -> Option<&StoredLine> {
+        self.lines.get(&line_addr)
+    }
+
+    /// Number of distinct lines currently stored.
+    #[must_use]
+    pub fn lines_stored(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Write count for a line (endurance accounting).
+    #[must_use]
+    pub fn wear(&self, line_addr: u64) -> u64 {
+        self.wear.get(&line_addr).copied().unwrap_or(0)
+    }
+
+    /// The maximum per-line write count — the endurance hot spot.
+    #[must_use]
+    pub fn max_wear(&self) -> u64 {
+        self.wear.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total writes absorbed by the medium.
+    #[must_use]
+    pub fn total_wear(&self) -> u64 {
+        self.wear.values().sum()
+    }
+
+    /// Flips one stored bit (fault injection for the ECC recovery path).
+    ///
+    /// Returns `true` if the line existed and the bit was flipped.
+    pub fn inject_bit_flip(&mut self, line_addr: u64, byte: usize, bit: u8) -> bool {
+        assert!(byte < LINE_BYTES, "byte index out of range");
+        assert!(bit < 8, "bit index out of range");
+        match self.lines.get_mut(&line_addr) {
+            Some(stored) => {
+                stored.data[byte] ^= 1 << bit;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = Medium::new();
+        assert!(m.load(0).is_none());
+        m.store(0, [1u8; LINE_BYTES], 42);
+        let line = m.load(0).unwrap();
+        assert_eq!(line.data, [1u8; LINE_BYTES]);
+        assert_eq!(line.ecc, 42);
+        assert_eq!(m.lines_stored(), 1);
+    }
+
+    #[test]
+    fn wear_accumulates_per_line() {
+        let mut m = Medium::new();
+        m.store(0, [0u8; LINE_BYTES], 0);
+        m.store(0, [1u8; LINE_BYTES], 1);
+        m.store(64, [2u8; LINE_BYTES], 2);
+        assert_eq!(m.wear(0), 2);
+        assert_eq!(m.wear(64), 1);
+        assert_eq!(m.wear(128), 0);
+        assert_eq!(m.max_wear(), 2);
+        assert_eq!(m.total_wear(), 3);
+    }
+
+    #[test]
+    fn bit_flip_injection() {
+        let mut m = Medium::new();
+        assert!(!m.inject_bit_flip(0, 0, 0), "missing line is reported");
+        m.store(0, [0u8; LINE_BYTES], 0);
+        assert!(m.inject_bit_flip(0, 3, 5));
+        assert_eq!(m.load(0).unwrap().data[3], 1 << 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte index out of range")]
+    fn bit_flip_validates_byte() {
+        let mut m = Medium::new();
+        m.store(0, [0u8; LINE_BYTES], 0);
+        m.inject_bit_flip(0, 64, 0);
+    }
+}

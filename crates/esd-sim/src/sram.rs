@@ -1,0 +1,258 @@
+//! An LRU cache model for controller-resident metadata SRAM.
+//!
+//! Used for the AMT hot-entry cache and for the fingerprint caches of the
+//! full-deduplication baselines. (ESD's EFIT uses its own Least-Reference-
+//! Count-Used policy, implemented in `esd-core`.)
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for a metadata cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A capacity-bounded LRU cache.
+///
+/// # Examples
+///
+/// ```
+/// use esd_sim::LruCache;
+/// let mut cache: LruCache<u64, &str> = LruCache::new(2);
+/// cache.insert(1, "a");
+/// cache.insert(2, "b");
+/// cache.get(&1);          // 1 is now most recent
+/// cache.insert(3, "c");   // evicts 2
+/// assert!(cache.get(&2).is_none());
+/// assert!(cache.get(&1).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    entries: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        LruCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.entries.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.entries.get(key).map(|(v, _)| v)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Looks up a key without affecting recency or statistics.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+
+    /// Mutable lookup, refreshing recency on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.entries.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.entries.get_mut(key).map(|(v, _)| v)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts a key, returning the evicted `(key, value)` if the cache was
+    /// full, or the previous value if the key was already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some((old, stamp)) = self.entries.remove(&key) {
+            self.recency.remove(&stamp);
+            let stamp = self.bump();
+            self.recency.insert(stamp, key.clone());
+            self.entries.insert(key.clone(), (value, stamp));
+            return Some((key, old));
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            let (&oldest_stamp, _) = self.recency.iter().next().expect("nonempty recency");
+            let victim_key = self.recency.remove(&oldest_stamp).expect("stamp present");
+            let (victim_val, _) = self.entries.remove(&victim_key).expect("entry present");
+            self.stats.evictions += 1;
+            Some((victim_key, victim_val))
+        } else {
+            None
+        };
+        let stamp = self.bump();
+        self.recency.insert(stamp, key.clone());
+        self.entries.insert(key, (value, stamp));
+        evicted
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (value, stamp) = self.entries.remove(key)?;
+        self.recency.remove(&stamp);
+        Some(value)
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, (v, _))| (k, v))
+    }
+
+    fn bump(&mut self) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        stamp
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some((_, stamp)) = self.entries.get(key) {
+            let old = *stamp;
+            self.recency.remove(&old);
+            let new = self.bump();
+            self.recency.insert(new, key.clone());
+            if let Some((_, stamp_slot)) = self.entries.get_mut(key) {
+                *stamp_slot = new;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(3);
+        cache.insert(1, 'a');
+        cache.insert(2, 'b');
+        cache.insert(3, 'c');
+        cache.get(&1);
+        cache.get(&2);
+        let evicted = cache.insert(4, 'd');
+        assert_eq!(evicted, Some((3, 'c')));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_returns_old() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, 'a');
+        assert_eq!(cache.insert(1, 'b'), Some((1, 'a')));
+        assert_eq!(cache.peek(&1), Some(&'b'));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, ());
+        cache.get(&1);
+        cache.get(&2);
+        cache.get(&2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_does_not_perturb_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, 'a');
+        cache.insert(2, 'b');
+        let _ = cache.peek(&1);
+        let evicted = cache.insert(3, 'c');
+        assert_eq!(evicted, Some((1, 'a')), "peek must not refresh key 1");
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut cache = LruCache::new(1);
+        cache.insert(1, 'a');
+        assert_eq!(cache.remove(&1), Some('a'));
+        assert!(cache.is_empty());
+        assert_eq!(cache.insert(2, 'b'), None);
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_update() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, 10);
+        *cache.get_mut(&1).unwrap() += 5;
+        assert_eq!(cache.peek(&1), Some(&15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u64, ()>::new(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Simulation time: picosecond-resolution timestamps and durations.
+//!
+//! The simulator's clock is a `u64` count of picoseconds, which represents
+//! both the 500 ps cycle of the paper's 2 GHz core and nanosecond-scale
+//! device constants exactly, with room for ~213 days of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time or a duration, in picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use esd_sim::Ps;
+/// let t = Ps::from_ns(75) + Ps::from_ns(150);
+/// assert_eq!(t.as_ns(), 225);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ps(pub u64);
+
+impl Ps {
+    /// Zero time.
+    pub const ZERO: Ps = Ps(0);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_ns(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_us(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// This duration in whole nanoseconds (truncating).
+    #[must_use]
+    pub fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This duration in fractional nanoseconds.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration in picoseconds.
+    #[must_use]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: Ps) -> Ps {
+        Ps(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if negative.
+    #[must_use]
+    pub fn saturating_sub(self, other: Ps) -> Ps {
+        Ps(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        Ps(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A CPU clock: converts between cycles and picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clock {
+    /// Period of one cycle in picoseconds.
+    cycle_ps: u64,
+}
+
+impl Clock {
+    /// Creates a clock from a frequency in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero or does not divide 10^6 ps evenly enough to
+    /// give a nonzero period.
+    #[must_use]
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be nonzero");
+        let cycle_ps = 1_000_000 / mhz;
+        assert!(cycle_ps > 0, "clock frequency too high to represent");
+        Clock { cycle_ps }
+    }
+
+    /// Period of one cycle.
+    #[must_use]
+    pub fn cycle(self) -> Ps {
+        Ps(self.cycle_ps)
+    }
+
+    /// Converts a cycle count to a duration.
+    #[must_use]
+    pub fn cycles_to_ps(self, cycles: u64) -> Ps {
+        Ps(cycles * self.cycle_ps)
+    }
+
+    /// Converts a duration to (fractional) cycles.
+    #[must_use]
+    pub fn ps_to_cycles_f64(self, t: Ps) -> f64 {
+        t.0 as f64 / self.cycle_ps as f64
+    }
+}
+
+impl Default for Clock {
+    /// The paper's 2 GHz core clock.
+    fn default() -> Self {
+        Clock::from_mhz(2000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        assert_eq!(Ps::from_ns(75).as_ns(), 75);
+        assert_eq!(Ps::from_us(3).as_ns(), 3000);
+        assert_eq!(Ps::from_ns(150).as_ps(), 150_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ps::from_ns(10);
+        let b = Ps::from_ns(4);
+        assert_eq!(a + b, Ps::from_ns(14));
+        assert_eq!(a - b, Ps::from_ns(6));
+        assert_eq!(a * 3, Ps::from_ns(30));
+        assert_eq!(a / 2, Ps::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Ps::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(vec![a, b].into_iter().sum::<Ps>(), Ps::from_ns(14));
+    }
+
+    #[test]
+    fn default_clock_is_2ghz() {
+        let clock = Clock::default();
+        assert_eq!(clock.cycle(), Ps(500));
+        assert_eq!(clock.cycles_to_ps(4), Ps::from_ns(2));
+        assert!((clock.ps_to_cycles_f64(Ps::from_ns(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Ps(500).to_string(), "500ps");
+        assert_eq!(Ps::from_ns(75).to_string(), "75.000ns");
+        assert_eq!(Ps::from_us(2).to_string(), "2.000us");
+    }
+}

@@ -1,0 +1,123 @@
+//! A Zipfian sampler over `0..n`, used to model content locality: a few
+//! cache-line contents are referenced enormously often (the paper's Fig. 3
+//! shows 0.08% of unique lines absorbing 42.7% of all writes).
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to `1/(i+1)^s`.
+///
+/// # Examples
+///
+/// ```
+/// use esd_trace::Zipf;
+/// use rand::SeedableRng;
+/// let zipf = Zipf::new(1000, 1.1);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero items (never true by
+    /// construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_indices() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 over 1000 items the top-10 carry well over a third.
+        assert!(head as f64 / N as f64 > 0.35, "head fraction {}", head as f64 / N as f64);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        const N: usize = 40_000;
+        for _ in 0..N {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / N as f64;
+            assert!((frac - 0.25).abs() < 0.02, "uniform fraction off: {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf needs at least one item")]
+    fn empty_distribution_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for trace generation and (de)serialization.
+
+use esd_trace::{
+    decode_trace, duplicate_rate, encode_trace, parse_trace_text, render_trace_text, Access,
+    AccessKind, AppProfile, CacheLine, Trace,
+};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let access = (any::<bool>(), any::<u32>(), any::<u64>(), any::<u8>()).prop_map(
+        |(is_read, gap, addr, fill)| {
+            let addr = (addr % (1 << 40)) & !63;
+            if is_read {
+                Access::read(addr, gap)
+            } else {
+                Access::write(addr, CacheLine::from_fill(fill), gap)
+            }
+        },
+    );
+    proptest::collection::vec(access, 0..200).prop_map(|accesses| {
+        let mut t = Trace::new("prop");
+        t.accesses = accesses;
+        t
+    })
+}
+
+proptest! {
+    /// Binary round trip is the identity for arbitrary traces.
+    #[test]
+    fn binary_round_trip(trace in arb_trace()) {
+        prop_assert_eq!(decode_trace(&encode_trace(&trace)).unwrap(), trace);
+    }
+
+    /// Text round trip is the identity for arbitrary traces.
+    #[test]
+    fn text_round_trip(trace in arb_trace()) {
+        let text = render_trace_text(&trace);
+        prop_assert_eq!(parse_trace_text("prop", &text).unwrap(), trace);
+    }
+
+    /// Generation is a pure function of (profile, seed, length); prefixes
+    /// agree (streaming consistency).
+    #[test]
+    fn generation_prefix_consistency(seed in any::<u64>(), n in 1usize..300) {
+        let p = AppProfile::demo();
+        let long = esd_trace::generate_trace(&p, seed, n + 50);
+        let short = esd_trace::generate_trace(&p, seed, n);
+        prop_assert_eq!(&long.accesses[..n], &short.accesses[..]);
+    }
+
+    /// Measured duplicate rate responds monotonically-ish to the profile
+    /// knob: a profile with much higher dup_rate measures higher.
+    #[test]
+    fn dup_rate_knob_orders_outputs(seed in any::<u64>()) {
+        let mut low = AppProfile::demo();
+        low.dup_rate = 0.2;
+        low.zero_fraction = 0.05;
+        let mut high = AppProfile::demo();
+        high.dup_rate = 0.9;
+        high.zero_fraction = 0.3;
+        let r_low = duplicate_rate(&esd_trace::generate_trace(&low, seed, 5_000));
+        let r_high = duplicate_rate(&esd_trace::generate_trace(&high, seed, 5_000));
+        prop_assert!(r_high > r_low + 0.3, "low {r_low}, high {r_high}");
+    }
+
+    /// Every write carries data; every read carries none.
+    #[test]
+    fn payload_invariant(seed in any::<u64>()) {
+        let t = esd_trace::generate_trace(&AppProfile::demo(), seed, 500);
+        for a in &t {
+            match a.kind {
+                AccessKind::Write => prop_assert!(a.data.is_some()),
+                AccessKind::Read => prop_assert!(a.data.is_none()),
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! §III-E crash consistency: losing every SRAM structure must never lose
+//! data — the EFIT is advisory (missed dedups only) and the AMT's
+//! authoritative copy lives in NVMM.
+
+use esd::core::{run_trace, DedupScheme, Esd};
+use esd::sim::{Ps, SystemConfig};
+use esd::trace::{generate_trace, AppProfile, CacheLine};
+
+#[test]
+fn crash_preserves_all_data() {
+    let config = SystemConfig::default();
+    let mut esd = Esd::new(&config);
+    let lines: Vec<CacheLine> = (0..64).map(CacheLine::from_seed).collect();
+    for (i, line) in lines.iter().enumerate() {
+        // Write each content twice so plenty of dedup state exists.
+        esd.write(Ps::from_us(i as u64), (i as u64) * 64, *line);
+        esd.write(Ps::from_us(100 + i as u64), 0x10000 + (i as u64) * 64, *line);
+    }
+
+    esd.crash_and_recover();
+
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(esd.read(Ps::from_us(300), (i as u64) * 64).data, *line, "line {i}");
+        assert_eq!(
+            esd.read(Ps::from_us(301), 0x10000 + (i as u64) * 64).data,
+            *line,
+            "dedup alias {i}"
+        );
+    }
+}
+
+#[test]
+fn post_crash_writes_rebuild_dedup_state() {
+    let config = SystemConfig::default();
+    let mut esd = Esd::new(&config);
+    let line = CacheLine::from_fill(0x42);
+    esd.write(Ps::ZERO, 0x00, line);
+    let pre = esd.write(Ps::from_us(1), 0x40, line);
+    assert!(pre.deduplicated);
+
+    esd.crash_and_recover();
+
+    // The EFIT is empty: the first rewrite is a (safe) missed duplicate...
+    let miss = esd.write(Ps::from_us(2), 0x80, line);
+    assert!(!miss.deduplicated, "EFIT was lost; dedup opportunity missed");
+    // ...but it repopulates the EFIT, so the next one dedups again.
+    let hit = esd.write(Ps::from_us(3), 0xC0, line);
+    assert!(hit.deduplicated, "dedup state rebuilds after recovery");
+    for addr in [0x00u64, 0x40, 0x80, 0xC0] {
+        assert_eq!(esd.read(Ps::from_us(4), addr).data, line);
+    }
+}
+
+#[test]
+fn repeated_crashes_under_load_never_corrupt() {
+    let config = SystemConfig::default();
+    let app = AppProfile::demo();
+    let trace = generate_trace(&app, 23, 6_000);
+    let mut esd = Esd::new(&config);
+
+    // Replay in three chunks with a crash between each, verifying reads
+    // against a shadow copy across the whole run.
+    let chunk = trace.len() / 3;
+    let mut shadow = std::collections::HashMap::new();
+    for (part, accesses) in trace.accesses.chunks(chunk).enumerate() {
+        for (i, access) in accesses.iter().enumerate() {
+            let now = Ps::from_us((part * chunk + i + 1) as u64);
+            match access.kind {
+                esd::trace::AccessKind::Write => {
+                    let line = access.data.expect("write data");
+                    esd.write(now, access.addr, line);
+                    shadow.insert(access.addr, line);
+                }
+                esd::trace::AccessKind::Read => {
+                    let got = esd.read(now, access.addr);
+                    if let Some(expected) = shadow.get(&access.addr) {
+                        assert_eq!(got.data, *expected, "corruption at {:#x}", access.addr);
+                    }
+                }
+            }
+        }
+        esd.crash_and_recover();
+    }
+}
+
+#[test]
+fn crash_is_idempotent_and_runs_keep_working() {
+    let config = SystemConfig::default();
+    let app = AppProfile::demo();
+    let trace = generate_trace(&app, 31, 2_000);
+    let mut esd = Esd::new(&config);
+    esd.crash_and_recover();
+    esd.crash_and_recover(); // crash with empty state is fine
+    let report = run_trace(&mut esd, &trace, &config, true).expect("verified run");
+    assert!(report.stats.writes_received > 0);
+}

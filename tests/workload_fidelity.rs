@@ -1,0 +1,99 @@
+//! Workload fidelity: the synthetic traces must reproduce the paper's
+//! published workload characterization (Figures 1 and 3), since every
+//! downstream result depends on it.
+
+use esd::trace::{duplicate_rate, generate_trace, refcount_buckets, zero_line_rate, AppProfile};
+
+const ACCESSES: usize = 60_000;
+
+#[test]
+fn duplicate_rates_track_profiles_within_tolerance() {
+    for app in AppProfile::all() {
+        let trace = generate_trace(&app, 42, ACCESSES);
+        let measured = duplicate_rate(&trace);
+        assert!(
+            (measured - app.dup_rate).abs() < 0.07,
+            "{}: measured {measured:.3} vs profile {:.3}",
+            app.name,
+            app.dup_rate
+        );
+    }
+}
+
+#[test]
+fn suite_average_matches_the_paper() {
+    // Paper: the 20 applications average 62.9% duplicate cache lines.
+    let mut sum = 0.0;
+    let apps = AppProfile::all();
+    for app in &apps {
+        sum += duplicate_rate(&generate_trace(app, 42, ACCESSES));
+    }
+    let avg = sum / apps.len() as f64;
+    assert!(
+        (0.55..=0.70).contains(&avg),
+        "suite average duplicate rate {avg:.3} is off the paper's 62.9%"
+    );
+}
+
+#[test]
+fn zero_lines_dominate_where_the_paper_says_they_do() {
+    for name in ["deepsjeng", "roms"] {
+        let app = AppProfile::by_name(name).unwrap();
+        let trace = generate_trace(&app, 42, ACCESSES);
+        assert!(
+            zero_line_rate(&trace) > 0.8,
+            "{name} must be dominated by zero lines"
+        );
+    }
+    let lbm = AppProfile::by_name("lbm").unwrap();
+    let trace = generate_trace(&lbm, 42, ACCESSES);
+    assert!(
+        zero_line_rate(&trace) < 0.1,
+        "lbm's duplicates are mostly non-zero"
+    );
+}
+
+#[test]
+fn content_locality_is_heavily_skewed() {
+    // Paper Fig. 3: a tiny fraction of unique lines absorbs a large share
+    // of all writes. Check the hot tail carries disproportionate volume.
+    let mut hot_content_frac = 0.0;
+    let mut hot_volume_frac = 0.0;
+    let apps = AppProfile::all();
+    for app in &apps {
+        let trace = generate_trace(app, 42, ACCESSES);
+        let buckets = refcount_buckets(&trace);
+        let cf = buckets.content_fractions();
+        let vf = buckets.volume_fractions();
+        // Buckets num100 and above (reference counts > 10).
+        hot_content_frac += cf[2] + cf[3] + cf[4];
+        hot_volume_frac += vf[2] + vf[3] + vf[4];
+    }
+    let n = apps.len() as f64;
+    hot_content_frac /= n;
+    hot_volume_frac /= n;
+    assert!(
+        hot_content_frac < 0.15,
+        "hot contents should be rare ({hot_content_frac:.3})"
+    );
+    assert!(
+        hot_volume_frac > 0.25,
+        "hot contents should dominate volume ({hot_volume_frac:.3})"
+    );
+    assert!(
+        hot_volume_frac / hot_content_frac > 3.0,
+        "content locality must be strongly skewed \
+         (volume {hot_volume_frac:.3} / content {hot_content_frac:.3})"
+    );
+}
+
+#[test]
+fn traces_round_trip_through_the_binary_format() {
+    for name in ["gcc", "deepsjeng"] {
+        let app = AppProfile::by_name(name).unwrap();
+        let trace = generate_trace(&app, 77, 5_000);
+        let encoded = esd::trace::encode_trace(&trace);
+        let decoded = esd::trace::decode_trace(&encoded).unwrap();
+        assert_eq!(decoded, trace, "{name}");
+    }
+}
