@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use esd_core::{build_scheme, run_trace, Amt, Efit, EfitPolicy, SchemeKind};
-use esd_crypto::CmeEngine;
-use esd_ecc::{decode_line, encode_line, EccFingerprint};
+use esd_crypto::{Aes128, CmeEngine};
+use esd_ecc::{decode_line, encode_line, encode_word, encode_word_ref, EccFingerprint};
 use esd_hash::{crc32, crc64, md5, sha1};
 use esd_sim::{NvmmSystem, PcmConfig, Ps, SystemConfig};
 use esd_trace::{generate_trace, AppProfile};
@@ -20,9 +20,35 @@ fn bench_fingerprints(c: &mut Criterion) {
         b.iter(|| EccFingerprint::of_line(black_box(&line)))
     });
     group.bench_function("sha1", |b| b.iter(|| sha1(black_box(&line))));
+    group.bench_function("sha1_reference", |b| {
+        b.iter(|| esd_hash::reference::sha1(black_box(&line)))
+    });
     group.bench_function("md5", |b| b.iter(|| md5(black_box(&line))));
+    group.bench_function("md5_reference", |b| {
+        b.iter(|| esd_hash::reference::md5(black_box(&line)))
+    });
     group.bench_function("crc32", |b| b.iter(|| crc32(black_box(&line))));
     group.bench_function("crc64", |b| b.iter(|| crc64(black_box(&line))));
+    group.finish();
+}
+
+/// The optimized kernels against the reference formulations they replaced.
+fn bench_kernels_vs_reference(c: &mut Criterion) {
+    let aes = Aes128::new(&[0x2B; 16]);
+    let block = [0x6Bu8; 16];
+    let mut group = c.benchmark_group("kernel_vs_reference");
+    group.bench_function("aes128_encrypt_block_table", |b| {
+        b.iter(|| aes.encrypt_block(black_box(block)))
+    });
+    group.bench_function("aes128_encrypt_block_ref", |b| {
+        b.iter(|| aes.encrypt_block_ref(black_box(block)))
+    });
+    group.bench_function("hamming_encode_word_table", |b| {
+        b.iter(|| encode_word(black_box(0x0123_4567_89AB_CDEFu64)))
+    });
+    group.bench_function("hamming_encode_word_ref", |b| {
+        b.iter(|| encode_word_ref(black_box(0x0123_4567_89AB_CDEFu64)))
+    });
     group.finish();
 }
 
@@ -110,6 +136,7 @@ fn bench_schemes_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fingerprints,
+    bench_kernels_vs_reference,
     bench_ecc_decode,
     bench_cme,
     bench_metadata,

@@ -7,6 +7,7 @@
 //! binaries (`fig01`, `fig02`, `fig03`, `fig08`, `fig18`, `config`).
 
 use esd_bench::figures;
+use esd_bench::report_json::{default_report_path, write_bench_json};
 use esd_bench::{print_figure_header, Sweep};
 use esd_core::SchemeKind;
 
@@ -17,7 +18,20 @@ fn main() {
         "full evaluation sweep (single simulation pass)",
         &sweep,
     );
-    let rows = sweep.run(&SchemeKind::ALL);
+    let outcome = sweep.run_timed(&SchemeKind::ALL);
+    // Record the sweep's cost alongside the figures (no serial baseline
+    // here; `bench_report` measures that).
+    let report_path = default_report_path();
+    match write_bench_json(&report_path, &sweep, &outcome, None, &[]) {
+        Ok(()) => eprintln!(
+            "sweep: {:.2}s on {} threads -> {}",
+            outcome.wall.as_secs_f64(),
+            outcome.threads,
+            report_path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", report_path.display()),
+    }
+    let rows = outcome.rows;
     figures::print_fig05(&rows);
     figures::print_fig11(&rows);
     figures::print_fig12(&rows);

@@ -8,15 +8,29 @@
 //! DeWrite, ESD) and prints the corresponding figure's rows or series. This
 //! library holds the shared sweep/formatting machinery.
 //!
+//! # Parallelism
+//!
+//! [`Sweep::run`] schedules one task per (workload, scheme) pair on a
+//! work-stealing pool of scoped threads. Each workload's trace is generated
+//! exactly once — the first task that needs it materializes it into a
+//! shared [`Arc<Trace>`] slot; later tasks (on any thread) reuse it. The
+//! pool is bounded by [`std::thread::available_parallelism`] and can be
+//! pinned with the `ESD_THREADS` environment variable.
+//!
 //! Run length and seed can be overridden with the `ESD_ACCESSES` and
-//! `ESD_SEED` environment variables.
+//! `ESD_SEED` environment variables. Unparseable values are reported on
+//! stderr and the default is used.
 
 pub mod figures;
+pub mod report_json;
 
-use crossbeam::thread;
-use esd_core::{build_scheme, run_trace, RunReport, SchemeKind};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use esd_core::{replay, RunReport, SchemeKind};
 use esd_sim::SystemConfig;
-use esd_trace::{generate_trace, AppProfile};
+use esd_trace::{generate_trace, AppProfile, Trace};
 
 /// Default accesses replayed per workload (overridable via `ESD_ACCESSES`).
 pub const DEFAULT_ACCESSES: usize = 1_000_000;
@@ -34,6 +48,9 @@ pub struct Sweep {
     pub seed: u64,
     /// System configuration (Table I defaults).
     pub config: SystemConfig,
+    /// Worker-thread cap; `None` means use the machine's available
+    /// parallelism. Populated from `ESD_THREADS` by [`Sweep::new`].
+    pub threads: Option<usize>,
 }
 
 impl Default for Sweep {
@@ -44,7 +61,7 @@ impl Default for Sweep {
 
 impl Sweep {
     /// Creates a sweep over the given workloads with environment-tunable
-    /// length and seed.
+    /// length, seed and thread count.
     #[must_use]
     pub fn new(apps: Vec<AppProfile>) -> Self {
         Sweep {
@@ -52,12 +69,24 @@ impl Sweep {
             accesses: env_usize("ESD_ACCESSES", DEFAULT_ACCESSES),
             seed: env_u64("ESD_SEED", DEFAULT_SEED),
             config: SystemConfig::default(),
+            threads: env_threads(),
         }
     }
 
-    /// Replays every workload through every scheme, in parallel across
-    /// workloads. Returns one row per workload, with reports in `schemes`
-    /// order.
+    /// The number of worker threads [`Sweep::run`] will use for `n_tasks`
+    /// runnable tasks: `min(n_tasks, cap)` where the cap is `ESD_THREADS`
+    /// (if set) or the machine's available parallelism, and never zero.
+    #[must_use]
+    pub fn worker_count(&self, n_tasks: usize) -> usize {
+        let cap = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        cap.max(1).min(n_tasks.max(1))
+    }
+
+    /// Replays every workload through every scheme, in parallel over
+    /// (workload, scheme) tasks. Returns one row per workload, with reports
+    /// in `schemes` order.
     ///
     /// # Panics
     ///
@@ -65,32 +94,148 @@ impl Sweep {
     /// scheme bug, not a workload property).
     #[must_use]
     pub fn run(&self, schemes: &[SchemeKind]) -> Vec<AppRow> {
-        let mut rows: Vec<Option<AppRow>> = (0..self.apps.len()).map(|_| None).collect();
-        thread::scope(|scope| {
-            for (slot, app) in rows.iter_mut().zip(self.apps.iter()) {
-                let config = self.config;
-                let seed = self.seed;
-                let accesses = self.accesses;
-                scope.spawn(move |_| {
-                    let trace = generate_trace(app, seed, accesses);
-                    let reports = schemes
-                        .iter()
-                        .map(|&kind| {
-                            let mut scheme = build_scheme(kind, &config);
-                            run_trace(scheme.as_mut(), &trace, &config, true)
-                                .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"))
-                        })
-                        .collect();
-                    *slot = Some(AppRow {
-                        app: app.clone(),
-                        reports,
-                    });
+        self.run_timed(schemes).rows
+    }
+
+    /// Like [`Sweep::run`], but also reports wall-clock timing for the
+    /// whole sweep and for each (workload, scheme) replay — the raw
+    /// material of `BENCH_sweep.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a verified run detects data corruption.
+    #[must_use]
+    pub fn run_timed(&self, schemes: &[SchemeKind]) -> SweepOutcome {
+        let n_apps = self.apps.len();
+        let n_schemes = schemes.len();
+        let n_tasks = n_apps * n_schemes;
+        let started = Instant::now();
+        if n_tasks == 0 {
+            return SweepOutcome {
+                rows: Vec::new(),
+                wall: started.elapsed(),
+                threads: 0,
+                tasks: Vec::new(),
+            };
+        }
+        let workers = self.worker_count(n_tasks);
+
+        // One shared slot per workload: the first task that needs a trace
+        // generates it; everyone else clones the Arc.
+        let traces: Vec<OnceLock<Arc<Trace>>> = (0..n_apps).map(|_| OnceLock::new()).collect();
+        // One write-once slot per task; no result aggregation channel needed.
+        let results: Vec<OnceLock<(RunReport, f64)>> =
+            (0..n_tasks).map(|_| OnceLock::new()).collect();
+
+        // Task t = app-major pair (t / n_schemes, t % n_schemes). Queues are
+        // seeded with contiguous app-major chunks so each worker starts on
+        // its own workloads (trace generation mostly uncontended); stealing
+        // from the *back* of a victim's queue takes the work farthest from
+        // what the victim is touching now.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * n_tasks / workers;
+                let hi = (w + 1) * n_tasks / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let traces = &traces;
+                let results = &results;
+                let queues = &queues;
+                scope.spawn(move || loop {
+                    let task = claim_task(queues, me);
+                    let Some(task) = task else { break };
+                    let (a, s) = (task / n_schemes, task % n_schemes);
+                    let trace = Arc::clone(traces[a].get_or_init(|| {
+                        Arc::new(generate_trace(&self.apps[a], self.seed, self.accesses))
+                    }));
+                    let kind = schemes[s];
+                    let t0 = Instant::now();
+                    let report = replay(kind, &trace, &self.config)
+                        .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"));
+                    let seconds = t0.elapsed().as_secs_f64();
+                    results[task]
+                        .set((report, seconds))
+                        .unwrap_or_else(|_| unreachable!("task {task} claimed twice"));
                 });
             }
-        })
-        .expect("sweep workers must not panic");
-        rows.into_iter().map(|r| r.expect("row filled")).collect()
+        });
+
+        let mut results: Vec<Option<(RunReport, f64)>> =
+            results.into_iter().map(OnceLock::into_inner).collect();
+        let mut rows = Vec::with_capacity(n_apps);
+        let mut tasks = Vec::with_capacity(n_tasks);
+        for (a, app) in self.apps.iter().enumerate() {
+            let mut reports = Vec::with_capacity(n_schemes);
+            for (s, &kind) in schemes.iter().enumerate() {
+                let (report, seconds) = results[a * n_schemes + s]
+                    .take()
+                    .expect("every task ran exactly once");
+                tasks.push(TaskTiming {
+                    app: app.name.clone(),
+                    scheme: kind,
+                    seconds,
+                });
+                reports.push(report);
+            }
+            rows.push(AppRow {
+                app: app.clone(),
+                reports,
+            });
+        }
+        SweepOutcome {
+            rows,
+            wall: started.elapsed(),
+            threads: workers,
+            tasks,
+        }
     }
+
+    /// Single-threaded reference sweep: same task set as [`Sweep::run`],
+    /// replayed in order on the calling thread with each trace generated
+    /// once. Used by the determinism test and as the serial baseline in
+    /// `BENCH_sweep.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a verified run detects data corruption.
+    #[must_use]
+    pub fn run_serial(&self, schemes: &[SchemeKind]) -> Vec<AppRow> {
+        self.apps
+            .iter()
+            .map(|app| {
+                let trace = generate_trace(app, self.seed, self.accesses);
+                let reports = schemes
+                    .iter()
+                    .map(|&kind| {
+                        replay(kind, &trace, &self.config)
+                            .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"))
+                    })
+                    .collect();
+                AppRow {
+                    app: app.clone(),
+                    reports,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Pops the next task for worker `me`: front of its own queue, else steal
+/// from the back of another worker's queue. `None` means all tasks are
+/// claimed and the worker should exit (tasks never spawn tasks, so empty
+/// queues cannot refill).
+fn claim_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(task) = queues[me].lock().expect("queue lock").pop_front() {
+        return Some(task);
+    }
+    let n = queues.len();
+    (1..n)
+        .map(|d| (me + d) % n)
+        .find_map(|victim| queues[victim].lock().expect("queue lock").pop_back())
 }
 
 /// One workload's reports across the swept schemes.
@@ -110,18 +255,82 @@ impl AppRow {
     }
 }
 
+/// Everything [`Sweep::run_timed`] measures.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One row per workload (same shape as [`Sweep::run`]'s return value).
+    pub rows: Vec<AppRow>,
+    /// Wall-clock time for the whole sweep, trace generation included.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Per-(workload, scheme) replay timings, in row-major sweep order.
+    pub tasks: Vec<TaskTiming>,
+}
+
+impl SweepOutcome {
+    /// Total accesses replayed across all tasks.
+    #[must_use]
+    pub fn total_accesses(&self, accesses_per_task: usize) -> u64 {
+        self.tasks.len() as u64 * accesses_per_task as u64
+    }
+
+    /// Aggregate replay throughput in accesses per wall-clock second.
+    #[must_use]
+    pub fn accesses_per_second(&self, accesses_per_task: usize) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.total_accesses(accesses_per_task) as f64 / wall
+    }
+}
+
+/// Wall-clock cost of one (workload, scheme) replay.
+#[derive(Debug, Clone)]
+pub struct TaskTiming {
+    /// Workload name.
+    pub app: String,
+    /// Scheme replayed.
+    pub scheme: SchemeKind,
+    /// Replay time in seconds (excludes trace generation, which is shared).
+    pub seconds: f64,
+}
+
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    parse_env(key, default)
 }
 
 fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    parse_env(key, default)
+}
+
+/// `ESD_THREADS`: a positive worker-thread cap, or `None` for auto.
+fn env_threads() -> Option<usize> {
+    match parse_env::<usize>("ESD_THREADS", 0) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Reads an integer environment variable; on a set-but-unparseable value,
+/// warns on stderr (instead of silently masking the typo) and falls back.
+fn parse_env<T>(key: &str, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display + Copy,
+{
+    match std::env::var(key) {
+        Ok(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring {key}={raw:?} (expected an integer); using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// Prints a figure header in a uniform style.
@@ -162,15 +371,77 @@ pub fn geomean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
+    fn small_sweep(apps: Vec<AppProfile>) -> Sweep {
+        let mut sweep = Sweep::new(apps);
+        sweep.accesses = 1_000;
+        sweep
+    }
+
     #[test]
     fn sweep_runs_all_schemes_for_each_app() {
-        let mut sweep = Sweep::new(vec![AppProfile::demo()]);
-        sweep.accesses = 1_000;
+        let sweep = small_sweep(vec![AppProfile::demo()]);
         let rows = sweep.run(&SchemeKind::ALL);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].reports.len(), 4);
         assert!(rows[0].report(SchemeKind::Esd).is_some());
         assert!(rows[0].report(SchemeKind::Baseline).is_some());
+    }
+
+    #[test]
+    fn run_timed_times_every_task() {
+        let sweep = small_sweep(vec![AppProfile::demo()]);
+        let outcome = sweep.run_timed(&[SchemeKind::Baseline, SchemeKind::Esd]);
+        assert_eq!(outcome.rows.len(), 1);
+        assert_eq!(outcome.tasks.len(), 2);
+        assert!(outcome.threads >= 1 && outcome.threads <= 2);
+        assert!(outcome.wall > Duration::ZERO);
+        assert!(outcome.tasks.iter().all(|t| t.seconds >= 0.0));
+        assert!(outcome.accesses_per_second(sweep.accesses) > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty_outcome() {
+        let sweep = small_sweep(Vec::new());
+        let outcome = sweep.run_timed(&SchemeKind::ALL);
+        assert!(outcome.rows.is_empty());
+        assert!(outcome.tasks.is_empty());
+    }
+
+    #[test]
+    fn worker_count_respects_cap_and_task_count() {
+        let mut sweep = small_sweep(vec![AppProfile::demo()]);
+        sweep.threads = Some(3);
+        assert_eq!(sweep.worker_count(100), 3);
+        assert_eq!(sweep.worker_count(2), 2);
+        assert_eq!(sweep.worker_count(0), 1);
+        sweep.threads = None;
+        assert!(sweep.worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn claim_task_drains_own_queue_then_steals() {
+        let queues = vec![
+            Mutex::new(VecDeque::from([0, 1])),
+            Mutex::new(VecDeque::from([2, 3])),
+        ];
+        assert_eq!(claim_task(&queues, 0), Some(0));
+        assert_eq!(claim_task(&queues, 0), Some(1));
+        // Own queue empty: steal from the BACK of worker 1's queue.
+        assert_eq!(claim_task(&queues, 0), Some(3));
+        assert_eq!(claim_task(&queues, 1), Some(2));
+        assert_eq!(claim_task(&queues, 0), None);
+        assert_eq!(claim_task(&queues, 1), None);
+    }
+
+    #[test]
+    fn unparseable_env_warns_and_falls_back() {
+        // Unique variable names: tests in this binary run concurrently and
+        // the environment is process-global.
+        std::env::set_var("ESD_TEST_BAD_INT", "12abc");
+        assert_eq!(parse_env("ESD_TEST_BAD_INT", 7usize), 7);
+        std::env::set_var("ESD_TEST_GOOD_INT", "12");
+        assert_eq!(parse_env("ESD_TEST_GOOD_INT", 7u64), 12);
+        assert_eq!(parse_env("ESD_TEST_UNSET_INT", 9u64), 9);
     }
 
     #[test]

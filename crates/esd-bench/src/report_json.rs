@@ -1,0 +1,255 @@
+//! The `BENCH_sweep.json` throughput report.
+//!
+//! A small hand-rolled JSON emitter (the workspace's serde is a compile-only
+//! stub) that records what a sweep cost: wall-clock, aggregate replay
+//! throughput in accesses per second, worker-thread count, per-(workload,
+//! scheme) replay seconds, and — when a serial baseline was measured — the
+//! parallel speedup. Written to the repository root by the `bench_report`
+//! and `fig_all` binaries.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::{Sweep, SweepOutcome};
+
+/// Default location of the report: `BENCH_sweep.json` at the repo root.
+#[must_use]
+pub fn default_report_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is .../crates/esd-bench at compile time; the repo
+    // root is two levels up. Falls back to the current directory when the
+    // binary is run outside its build tree.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("BENCH_sweep.json"), |root| root.join("BENCH_sweep.json"))
+}
+
+/// Serial-baseline measurement accompanying a parallel sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SerialBaseline {
+    /// Wall-clock of the single-threaded reference sweep.
+    pub wall: Duration,
+}
+
+/// A measured hot-path kernel against its reference implementation.
+#[derive(Debug, Clone)]
+pub struct KernelSpeedup {
+    /// Kernel name, e.g. `"aes128_encrypt_block"`.
+    pub name: String,
+    /// Reference-implementation cost per operation, nanoseconds.
+    pub reference_ns: f64,
+    /// Fast-path cost per operation, nanoseconds.
+    pub fast_ns: f64,
+}
+
+impl KernelSpeedup {
+    /// Wall-clock improvement factor of the fast path over the reference.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.fast_ns > 0.0 {
+            self.reference_ns / self.fast_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders the report as a JSON string.
+#[must_use]
+pub fn render_bench_json(
+    sweep: &Sweep,
+    outcome: &SweepOutcome,
+    serial: Option<SerialBaseline>,
+    kernels: &[KernelSpeedup],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v1"));
+    push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
+    push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
+    push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
+    push_kv(&mut out, 1, "threads", &outcome.threads.to_string());
+    push_kv(
+        &mut out,
+        1,
+        "total_accesses",
+        &outcome.total_accesses(sweep.accesses).to_string(),
+    );
+    push_kv(
+        &mut out,
+        1,
+        "wall_seconds",
+        &json_f64(outcome.wall.as_secs_f64()),
+    );
+    push_kv(
+        &mut out,
+        1,
+        "accesses_per_second",
+        &json_f64(outcome.accesses_per_second(sweep.accesses)),
+    );
+    if let Some(serial) = serial {
+        let serial_wall = serial.wall.as_secs_f64();
+        push_kv(&mut out, 1, "serial_wall_seconds", &json_f64(serial_wall));
+        let speedup = if outcome.wall.as_secs_f64() > 0.0 {
+            serial_wall / outcome.wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
+    }
+    if !kernels.is_empty() {
+        out.push_str("  \"kernel_speedups\": [\n");
+        for (i, k) in kernels.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"kernel\": {}, \"reference_ns\": {}, \"fast_ns\": {}, \"speedup\": {}",
+                json_str(&k.name),
+                json_f64(k.reference_ns),
+                json_f64(k.fast_ns),
+                json_f64(k.speedup())
+            ));
+            out.push('}');
+            if i + 1 < kernels.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+    }
+    out.push_str("  \"tasks\": [\n");
+    for (i, task) in outcome.tasks.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"app\": {}, \"scheme\": {}, \"replay_seconds\": {}",
+            json_str(&task.app),
+            json_str(task.scheme.name()),
+            json_f64(task.seconds)
+        ));
+        out.push('}');
+        if i + 1 < outcome.tasks.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the report to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(
+    path: &Path,
+    sweep: &Sweep,
+    outcome: &SweepOutcome,
+    serial: Option<SerialBaseline>,
+    kernels: &[KernelSpeedup],
+) -> io::Result<()> {
+    std::fs::write(path, render_bench_json(sweep, outcome, serial, kernels))
+}
+
+fn push_kv(out: &mut String, indent: usize, key: &str, value: &str) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str(&format!("\"{key}\": {value},\n"));
+}
+
+/// Finite floats with enough digits to round-trip; JSON has no NaN/Inf, so
+/// those degrade to 0 (they only arise from degenerate zero-length runs).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_core::SchemeKind;
+    use esd_trace::AppProfile;
+
+    fn tiny_outcome() -> (Sweep, SweepOutcome) {
+        let mut sweep = Sweep::new(vec![AppProfile::demo()]);
+        sweep.accesses = 500;
+        let outcome = sweep.run_timed(&[SchemeKind::Baseline, SchemeKind::Esd]);
+        (sweep, outcome)
+    }
+
+    #[test]
+    fn report_contains_every_task_and_field() {
+        let (sweep, outcome) = tiny_outcome();
+        let kernels = [KernelSpeedup {
+            name: "aes128_encrypt_block".into(),
+            reference_ns: 100.0,
+            fast_ns: 25.0,
+        }];
+        assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
+        let json = render_bench_json(
+            &sweep,
+            &outcome,
+            Some(SerialBaseline {
+                wall: Duration::from_secs_f64(1.0),
+            }),
+            &kernels,
+        );
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v1\""));
+        assert!(json.contains("\"accesses_per_task\": 500"));
+        assert!(json.contains("\"Baseline\""));
+        assert!(json.contains("\"ESD\"") || json.contains("\"Esd\""));
+        assert!(json.contains("\"serial_wall_seconds\""));
+        assert!(json.contains("\"parallel_speedup\""));
+        assert!(json.contains("\"kernel\": \"aes128_encrypt_block\""));
+        assert!(json.contains("\"speedup\": 4.000000"));
+        assert_eq!(json.matches("\"replay_seconds\"").count(), 2);
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn serial_fields_are_omitted_without_baseline() {
+        let (sweep, outcome) = tiny_outcome();
+        let json = render_bench_json(&sweep, &outcome, None, &[]);
+        assert!(!json.contains("serial_wall_seconds"));
+        assert!(!json.contains("parallel_speedup"));
+        assert!(!json.contains("kernel_speedups"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn default_path_ends_at_repo_root() {
+        let p = default_report_path();
+        assert!(p.ends_with("BENCH_sweep.json"));
+        assert!(!p.to_string_lossy().contains("crates"));
+    }
+}

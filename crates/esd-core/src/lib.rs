@@ -71,7 +71,7 @@ pub use esd::Esd;
 pub use fpstore::{FingerprintStore, FpLookup, LookupSource};
 pub use predictor::{DupPredictor, PredictorStats};
 pub use report::{Normalized, RunReport};
-pub use runner::{build_scheme, run_app, run_trace, VerifyError};
+pub use runner::{build_scheme, replay, run_app, run_trace, VerifyError};
 pub use scheme::{
     DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
 };

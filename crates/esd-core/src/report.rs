@@ -5,7 +5,11 @@ use esd_sim::{CacheStats, Energy, LatencyHistogram, PcmStats, Ps, WriteLatencyBr
 use crate::scheme::{MetadataFootprint, SchemeKind, SchemeStats};
 
 /// The complete result of replaying one trace through one scheme.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (histograms included), so two reports
+/// are equal only if the runs were byte-identical — the property the
+/// parallel sweep's determinism test leans on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Which scheme ran.
     pub scheme: SchemeKind,

@@ -128,6 +128,23 @@ pub fn run_trace(
     })
 }
 
+/// Replays an already-generated trace through a fresh scheme of the given
+/// kind, with verification on. This is the unit of work the parallel sweep
+/// schedules: callers generate each workload's trace once, share it (e.g.
+/// behind an `Arc`), and fan the schemes out over it.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] from [`run_trace`].
+pub fn replay(
+    kind: SchemeKind,
+    trace: &Trace,
+    config: &SystemConfig,
+) -> Result<RunReport, VerifyError> {
+    let mut scheme = build_scheme(kind, config);
+    run_trace(scheme.as_mut(), trace, config, true)
+}
+
 /// Convenience: generate a workload's trace and replay it through one
 /// scheme, with verification on.
 ///

@@ -152,15 +152,21 @@ impl CmeEngine {
     }
 
     fn xor_pad(&self, addr: u64, counter: u64, input: &[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
+        // The four per-block tweaks differ only in byte 15 (the block
+        // index), so build the (address, counter) prefix once.
+        let mut tweak = [0u8; 16];
+        tweak[..8].copy_from_slice(&addr.to_le_bytes());
+        tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
         let mut out = [0u8; LINE_BYTES];
-        for block in 0..LINE_BYTES / 16 {
-            let mut tweak = [0u8; 16];
-            tweak[..8].copy_from_slice(&addr.to_le_bytes());
-            tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
+        for (block, (out16, in16)) in out
+            .chunks_exact_mut(16)
+            .zip(input.chunks_exact(16))
+            .enumerate()
+        {
             tweak[15] = block as u8;
             let pad = self.cipher.encrypt_block(tweak);
-            for i in 0..16 {
-                out[block * 16 + i] = input[block * 16 + i] ^ pad[i];
+            for ((o, i), p) in out16.iter_mut().zip(in16).zip(pad) {
+                *o = i ^ p;
             }
         }
         out

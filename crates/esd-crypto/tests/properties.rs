@@ -53,4 +53,22 @@ proptest! {
         let aes = Aes128::new(&[0x3C; 16]);
         prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
     }
+
+    /// The T-table fast path is bit-exact with the byte-wise reference
+    /// round function for any key/block pair.
+    #[test]
+    fn aes_table_path_matches_reference(key in proptest::array::uniform16(any::<u8>()),
+                                        block in proptest::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.encrypt_block(block), aes.encrypt_block_ref(block));
+    }
+
+    /// Decryption inverts the fast encryption path (exercises both the
+    /// table-driven forward rounds and the inverse cipher).
+    #[test]
+    fn aes_block_round_trip(key in proptest::array::uniform16(any::<u8>()),
+                            block in proptest::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
 }

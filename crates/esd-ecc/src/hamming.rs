@@ -69,11 +69,49 @@ fn parity64(x: u64) -> u8 {
     (x.count_ones() & 1) as u8
 }
 
+/// Const-evaluable mask-and-popcount encoder; the source of truth both
+/// [`encode_word_ref`] and the [`ENC_TABLE`] construction share.
+const fn encode_word_scalar(data: u64) -> u8 {
+    let mut ecc = 0u8;
+    let mut c = 0usize;
+    while c < CHECK_BITS as usize {
+        ecc |= (((data & CHECK_MASK[c]).count_ones() & 1) as u8) << c;
+        c += 1;
+    }
+    // Overall parity over all 71 Hamming bits = data bits XOR check bits.
+    let check_parity = ((ecc & 0x7F).count_ones() & 1) as u8;
+    let overall = ((data.count_ones() & 1) as u8) ^ check_parity;
+    ecc | (overall << 7)
+}
+
+/// `ENC_TABLE[j][v]` is the full 8-bit ECC of a word whose byte `j` is `v`
+/// and whose other bytes are zero. The whole code (check bits *and*
+/// overall-parity bit) is XOR-linear in the data, so any word's ECC is the
+/// XOR-fold of eight table lookups — the hot path behind [`encode_word`]
+/// and the bulk line codec.
+pub(crate) const ENC_TABLE: [[u8; 256]; 8] = {
+    let mut t = [[0u8; 256]; 8];
+    let mut j = 0usize;
+    while j < 8 {
+        let mut v = 0usize;
+        while v < 256 {
+            t[j][v] = encode_word_scalar((v as u64) << (8 * j));
+            v += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
 /// Computes the 8-bit SEC-DED ECC for a 64-bit data word.
 ///
 /// Bits `0..7` of the result are the seven Hamming check bits (bit `c`
 /// corresponds to codeword position `1 << c`); bit 7 is the overall parity
 /// over the 71 Hamming codeword bits.
+///
+/// This is the table-driven fast path (eight byte lookups XOR-folded);
+/// [`encode_word_ref`] is the mask-and-popcount reference it is
+/// property-tested against.
 ///
 /// # Examples
 ///
@@ -83,15 +121,25 @@ fn parity64(x: u64) -> u8 {
 /// assert_eq!(decoded.data, 0xDEAD_BEEF_CAFE_F00D);
 /// ```
 #[must_use]
+#[inline]
 pub fn encode_word(data: u64) -> u8 {
-    let mut ecc = 0u8;
-    for (c, mask) in CHECK_MASK.iter().enumerate() {
-        ecc |= parity64(data & mask) << c;
-    }
-    // Overall parity over all 71 Hamming bits = data bits XOR check bits.
-    let check_parity = ((ecc & 0x7F).count_ones() & 1) as u8;
-    let overall = parity64(data) ^ check_parity;
-    ecc | (overall << 7)
+    let b = data.to_le_bytes();
+    ENC_TABLE[0][b[0] as usize]
+        ^ ENC_TABLE[1][b[1] as usize]
+        ^ ENC_TABLE[2][b[2] as usize]
+        ^ ENC_TABLE[3][b[3] as usize]
+        ^ ENC_TABLE[4][b[4] as usize]
+        ^ ENC_TABLE[5][b[5] as usize]
+        ^ ENC_TABLE[6][b[6] as usize]
+        ^ ENC_TABLE[7][b[7] as usize]
+}
+
+/// The reference encoder: seven masked parities plus the overall-parity
+/// bit, computed directly from the positional definition of the code.
+/// Bit-exact with [`encode_word`] (see the equivalence tests).
+#[must_use]
+pub fn encode_word_ref(data: u64) -> u8 {
+    encode_word_scalar(data)
 }
 
 /// Which codeword bit a successful single-error correction flipped.
@@ -225,6 +273,26 @@ mod tests {
             seen[p] = true;
             assert_eq!(DATA_OF_POS[p] as usize, i + 1);
         }
+    }
+
+    #[test]
+    fn table_encoder_matches_reference_encoder() {
+        let mut x = 0x0DDB_1A5E_5BAD_5EEDu64;
+        for _ in 0..4096 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            assert_eq!(encode_word(x), encode_word_ref(x), "data {x:#018x}");
+        }
+        for special in [0u64, u64::MAX, 1, 1 << 63, 0x8080_8080_8080_8080] {
+            assert_eq!(encode_word(special), encode_word_ref(special));
+        }
+    }
+
+    #[test]
+    fn encoder_is_xor_linear() {
+        // The property ENC_TABLE relies on.
+        let (a, b) = (0x1234_5678_9ABC_DEF0u64, 0x0F1E_2D3C_4B5A_6978u64);
+        assert_eq!(encode_word_ref(a ^ b), encode_word_ref(a) ^ encode_word_ref(b));
+        assert_eq!(encode_word_ref(0), 0);
     }
 
     #[test]

@@ -40,7 +40,9 @@ mod hamming;
 pub mod hsiao;
 mod line;
 
-pub use hamming::{decode_word, encode_word, CorrectedBit, DecodeWordError, WordDecode};
+pub use hamming::{
+    decode_word, encode_word, encode_word_ref, CorrectedBit, DecodeWordError, WordDecode,
+};
 pub use line::{
     decode_line, encode_line, DecodeLineError, EccFingerprint, LineDecode, LineEcc, LINE_BYTES,
     WORDS_PER_LINE,

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::hamming::{decode_word, encode_word, CorrectedBit, DecodeWordError};
+use crate::hamming::{decode_word, DecodeWordError, ENC_TABLE};
 
 /// Size of a cache line in bytes, matching the 64 B line the CPU core evicts.
 pub const LINE_BYTES: usize = 64;
@@ -129,10 +129,20 @@ impl fmt::UpperHex for EccFingerprint {
 /// ```
 #[must_use]
 pub fn encode_line(line: &[u8; LINE_BYTES]) -> LineEcc {
+    // Bulk path: one pass over the 64 bytes, folding each byte's table
+    // entry straight into its word's code — no u64 assembly, no per-word
+    // parity popcounts. Bit-exact with per-word `encode_word` (the code is
+    // XOR-linear; see `esd-ecc`'s equivalence tests).
     let mut words = [0u8; WORDS_PER_LINE];
-    for (w, chunk) in line.chunks_exact(8).enumerate() {
-        let data = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        words[w] = encode_word(data);
+    for (word, chunk) in words.iter_mut().zip(line.chunks_exact(8)) {
+        *word = ENC_TABLE[0][chunk[0] as usize]
+            ^ ENC_TABLE[1][chunk[1] as usize]
+            ^ ENC_TABLE[2][chunk[2] as usize]
+            ^ ENC_TABLE[3][chunk[3] as usize]
+            ^ ENC_TABLE[4][chunk[4] as usize]
+            ^ ENC_TABLE[5][chunk[5] as usize]
+            ^ ENC_TABLE[6][chunk[6] as usize]
+            ^ ENC_TABLE[7][chunk[7] as usize];
     }
     LineEcc(words)
 }
@@ -178,19 +188,33 @@ pub fn decode_line(
     line: &[u8; LINE_BYTES],
     ecc: LineEcc,
 ) -> Result<LineDecode, DecodeLineError> {
-    let mut out = [0u8; LINE_BYTES];
+    // Bulk path: recompute every word's expected ECC in one table-driven
+    // pass. A stored code that matches exactly proves the word clean (the
+    // code's top bit is the overall parity, so an exact 8-bit match implies
+    // zero syndrome AND clean parity) — the overwhelmingly common case, and
+    // it skips all syndrome analysis. Only mismatching words go through the
+    // full SEC-DED correction logic.
+    let mut out = *line;
     let mut corrected_words = 0usize;
     for (w, chunk) in line.chunks_exact(8).enumerate() {
+        let expected = ENC_TABLE[0][chunk[0] as usize]
+            ^ ENC_TABLE[1][chunk[1] as usize]
+            ^ ENC_TABLE[2][chunk[2] as usize]
+            ^ ENC_TABLE[3][chunk[3] as usize]
+            ^ ENC_TABLE[4][chunk[4] as usize]
+            ^ ENC_TABLE[5][chunk[5] as usize]
+            ^ ENC_TABLE[6][chunk[6] as usize]
+            ^ ENC_TABLE[7][chunk[7] as usize];
+        if expected == ecc.0[w] {
+            continue;
+        }
         let data = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         let decoded = decode_word(data, ecc.0[w])
             .map_err(|source| DecodeLineError { word: w, source })?;
-        if matches!(decoded.corrected, Some(CorrectedBit::Data(_))) {
-            corrected_words += 1;
-        } else if decoded.corrected.is_some() {
-            // Check-bit or parity-bit flips do not alter the data but still
-            // count as corrected storage errors.
-            corrected_words += 1;
-        }
+        // Any successful decode of a mismatching word corrected a storage
+        // error (data, check or parity bit).
+        debug_assert!(decoded.corrected.is_some());
+        corrected_words += 1;
         out[w * 8..w * 8 + 8].copy_from_slice(&decoded.data.to_le_bytes());
     }
     Ok(LineDecode {

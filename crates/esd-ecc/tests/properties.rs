@@ -1,8 +1,8 @@
 //! Property-based tests for the Hamming(72,64) codec and line fingerprints.
 
 use esd_ecc::{
-    decode_line, decode_word, encode_line, encode_word, CorrectedBit, EccFingerprint,
-    LINE_BYTES,
+    decode_line, decode_word, encode_line, encode_word, encode_word_ref, CorrectedBit,
+    EccFingerprint, LINE_BYTES,
 };
 use proptest::prelude::*;
 
@@ -81,5 +81,33 @@ proptest! {
         if EccFingerprint::of_line(&a) != EccFingerprint::of_line(&b) {
             prop_assert_ne!(a, b);
         }
+    }
+
+    /// The byte-table word encoder is bit-exact with the scalar reference
+    /// encoder on random words.
+    #[test]
+    fn table_encoder_matches_reference(data in any::<u64>()) {
+        prop_assert_eq!(encode_word(data), encode_word_ref(data));
+    }
+
+    /// The single-pass line encoder equals the per-word reference encoder
+    /// composed over the line's eight words (the seed's formulation).
+    #[test]
+    fn line_encoder_matches_per_word_reference(line in arb_line()) {
+        let fast = encode_line(&line);
+        for (w, chunk) in line.chunks_exact(8).enumerate() {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            prop_assert_eq!(fast.words()[w], encode_word_ref(word), "word {}", w);
+        }
+    }
+
+    /// The decoder's exact-match fast path never masks a correctable fault:
+    /// flipping any single ECC *or* data bit still round-trips the line.
+    #[test]
+    fn decode_fast_path_is_fault_transparent(line in arb_line(), word in 0usize..8, bit in 0u8..8) {
+        let mut words = *encode_line(&line).words();
+        words[word] ^= 1 << bit;
+        let decoded = decode_line(&line, esd_ecc::LineEcc::new(words)).unwrap();
+        prop_assert_eq!(decoded.line, line);
     }
 }

@@ -35,6 +35,7 @@
 mod cost;
 mod crc;
 mod md5;
+pub mod reference;
 mod sha1;
 
 pub use cost::{FingerprintCost, FingerprintKind};

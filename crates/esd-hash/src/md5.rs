@@ -146,28 +146,39 @@ impl Md5 {
         }
     }
 
+    /// The fast block compression: the 64-round loop is split into its four
+    /// phases, removing the per-round `(f, g)` dispatch and letting each
+    /// phase's message-word index progression be computed directly.
+    /// Bit-exact with [`crate::reference::md5_compress`].
     fn compress(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        for (word, chunk) in m.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
         }
 
         let [mut a, mut b, mut c, mut d] = self.state;
-        for i in 0..64 {
-            let (f, g) = match i {
-                0..=15 => ((b & c) | ((!b) & d), i),
-                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
-                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let f = f
-                .wrapping_add(a)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
-            a = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(f.rotate_left(S[i]));
+
+        macro_rules! round {
+            ($f:expr, $g:expr, $i:expr) => {{
+                let f = $f.wrapping_add(a).wrapping_add(K[$i]).wrapping_add(m[$g]);
+                a = d;
+                d = c;
+                c = b;
+                b = b.wrapping_add(f.rotate_left(S[$i]));
+            }};
+        }
+
+        for i in 0..16 {
+            round!((b & c) | ((!b) & d), i, i);
+        }
+        for i in 16..32 {
+            round!((d & b) | ((!d) & c), (5 * i + 1) % 16, i);
+        }
+        for i in 32..48 {
+            round!(b ^ c ^ d, (3 * i + 5) % 16, i);
+        }
+        for i in 48..64 {
+            round!(c ^ (b | !d), (7 * i) % 16, i);
         }
 
         self.state[0] = self.state[0].wrapping_add(a);

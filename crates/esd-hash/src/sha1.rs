@@ -141,34 +141,63 @@ impl Sha1 {
         }
     }
 
+    /// The fast block compression: the 80-round loop is split into its four
+    /// phases (removing the per-round `(f, k)` dispatch) and the message
+    /// schedule lives in a 16-word circular buffer computed on the fly
+    /// (instead of a pre-expanded 80-word array). Bit-exact with
+    /// [`crate::reference::sha1_compress`].
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        let mut w = [0u32; 16];
+        for (word, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
         }
 
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
-            };
-            let temp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = temp;
+
+        // w[i] for i >= 16 is (w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]) <<< 1;
+        // modulo 16 those taps are (i+13), (i+8), (i+2) and i itself.
+        macro_rules! schedule {
+            ($i:expr) => {{
+                let next = (w[($i + 13) & 15] ^ w[($i + 8) & 15] ^ w[($i + 2) & 15] ^ w[$i & 15])
+                    .rotate_left(1);
+                w[$i & 15] = next;
+                next
+            }};
+        }
+        macro_rules! round {
+            ($f:expr, $k:expr, $wi:expr) => {{
+                let temp = a
+                    .rotate_left(5)
+                    .wrapping_add($f)
+                    .wrapping_add(e)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = temp;
+            }};
+        }
+
+        for &wi in &w {
+            round!((b & c) | ((!b) & d), 0x5A82_7999, wi);
+        }
+        for i in 16..20 {
+            let wi = schedule!(i);
+            round!((b & c) | ((!b) & d), 0x5A82_7999, wi);
+        }
+        for i in 20..40 {
+            let wi = schedule!(i);
+            round!(b ^ c ^ d, 0x6ED9_EBA1, wi);
+        }
+        for i in 40..60 {
+            let wi = schedule!(i);
+            round!((b & c) | (b & d) | (c & d), 0x8F1B_BCDC, wi);
+        }
+        for i in 60..80 {
+            let wi = schedule!(i);
+            round!(b ^ c ^ d, 0xCA62_C1D6, wi);
         }
 
         self.state[0] = self.state[0].wrapping_add(a);

@@ -72,4 +72,18 @@ proptest! {
         prop_assert_ne!(crc32(&line), crc32(&flipped));
         prop_assert_ne!(crc64(&line), crc64(&flipped));
     }
+
+    /// The unrolled SHA-1 compression (circular 16-word schedule, phase
+    /// split) is bit-exact with the plain reference formulation on random
+    /// inputs of random lengths, including multi-block ones.
+    #[test]
+    fn sha1_fast_path_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(sha1(&data), esd_hash::reference::sha1(&data));
+    }
+
+    /// Same for the phase-split MD5 compression.
+    #[test]
+    fn md5_fast_path_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(md5(&data), esd_hash::reference::md5(&data));
+    }
 }

@@ -1,0 +1,161 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's `benches/` use —
+//! [`Criterion`], [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain wall-clock
+//! timer. Each benchmark is auto-calibrated to run for roughly
+//! `measurement_time_ms` per sample and reports the median ns/iter across
+//! samples to stdout; there are no statistics beyond that, no HTML reports
+//! and no CLI argument parsing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_MS: u64 = 20;
+const MEASUREMENT_MS: u64 = 60;
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Drives one benchmark body: calibrates an iteration count, then times it.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count filling ~MEASUREMENT_MS.
+        let mut iters: u64 = 1;
+        let warmup = Duration::from_millis(WARMUP_MS);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= warmup {
+                let per_iter = elapsed.as_nanos().max(1) as u64 / iters.max(1);
+                iters = (MEASUREMENT_MS * 1_000_000 / per_iter.max(1)).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let per_sample = (iters / self.samples as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark under this group's prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    if bencher.median_ns.is_nan() {
+        println!("{id:<44} (no measurement: Bencher::iter never called)");
+    } else if bencher.median_ns >= 10_000.0 {
+        println!("{id:<44} {:>12.2} us/iter", bencher.median_ns / 1_000.0);
+    } else {
+        println!("{id:<44} {:>12.1} ns/iter", bencher.median_ns);
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        group.finish();
+    }
+
+    criterion_group!(bench_entry, quick_bench);
+
+    #[test]
+    fn harness_runs_and_times() {
+        bench_entry();
+        let mut c = Criterion::default();
+        c.bench_function("ungrouped", |b| b.iter(|| black_box(1u32).wrapping_mul(3)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! This workspace never serializes anything at runtime today: the
+//! `#[derive(Serialize, Deserialize)]` attributes on simulator types are
+//! forward-looking annotations, and the only hand-written serde code
+//! (`esd-trace`'s `serde_bytes_64` helper) is generic over serializers that
+//! are never instantiated. The build environment has no network access and
+//! no registry cache, so instead of the real `serde` this crate provides
+//! exactly the trait surface the workspace compiles against:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (plus the derive macros of the
+//!   same names, re-exported from `serde_derive`, which expand to nothing);
+//! * [`Serializer`] / [`Deserializer`] with the handful of methods the
+//!   workspace's generic helper code calls;
+//! * [`de::Error`] with `custom`.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml`; no source file references this crate by anything other
+//! than the standard serde paths.
+
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error behaviour shared by serializers and deserializers.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The error trait bound required of [`crate::Deserializer::Error`].
+    pub trait Error: Sized {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Error behaviour for serializers (mirror of [`de::Error`]).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The error trait bound required of [`crate::Serializer::Error`].
+    pub trait Error: Sized {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize values.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for [u8] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}
+
+/// Smoke-level checks that the trait plumbing is callable generically.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Display;
+
+    struct ByteSink(Vec<u8>);
+    #[derive(Debug)]
+    struct Msg(String);
+
+    impl ser::Error for Msg {
+        fn custom<T: Display>(msg: T) -> Self {
+            Msg(msg.to_string())
+        }
+    }
+    impl de::Error for Msg {
+        fn custom<T: Display>(msg: T) -> Self {
+            Msg(msg.to_string())
+        }
+    }
+
+    impl Serializer for &mut ByteSink {
+        type Ok = usize;
+        type Error = Msg;
+        fn serialize_bytes(self, v: &[u8]) -> Result<usize, Msg> {
+            self.0.extend_from_slice(v);
+            Ok(v.len())
+        }
+    }
+
+    struct ByteSource(Vec<u8>);
+    impl<'de> Deserializer<'de> for ByteSource {
+        type Error = Msg;
+        fn deserialize_byte_buf(self) -> Result<Vec<u8>, Msg> {
+            Ok(self.0)
+        }
+    }
+
+    #[test]
+    fn slices_round_trip_through_the_traits() {
+        let mut sink = ByteSink(Vec::new());
+        let n = [1u8, 2, 3].as_slice().serialize(&mut sink).unwrap();
+        assert_eq!(n, 3);
+        let v = Vec::<u8>::deserialize(ByteSource(sink.0)).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn derives_expand_to_nothing_but_parse() {
+        #[derive(Serialize, Deserialize)]
+        #[allow(dead_code)]
+        struct Annotated {
+            #[serde(with = "whatever")]
+            field: u32,
+        }
+        let _ = Annotated { field: 7 };
+    }
+}

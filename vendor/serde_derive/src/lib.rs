@@ -1,0 +1,22 @@
+//! Inert derive macros for the vendored serde stand-in.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` annotations exist so
+//! the simulator types stay serde-ready, but no code path requires the
+//! generated impls. These derives therefore accept the input (including
+//! `#[serde(...)]` helper attributes) and expand to nothing, which keeps
+//! every annotated type compiling without pulling the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) into an offline build.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
