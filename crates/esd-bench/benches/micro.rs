@@ -3,6 +3,7 @@
 //! metadata structures, and short end-to-end scheme runs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esd_collections::U64Map;
 use esd_core::{build_scheme, run_trace, Amt, Efit, EfitPolicy, SchemeKind};
 use esd_crypto::{Aes128, CmeEngine};
 use esd_ecc::{decode_line, encode_line, encode_word, encode_word_ref, EccFingerprint};
@@ -76,8 +77,67 @@ fn bench_cme(c: &mut Criterion) {
         let mut cme = CmeEngine::new([7u8; 16]);
         b.iter(|| cme.encrypt_line(black_box(0x40), black_box(&line)))
     });
-    group.bench_function("decrypt_line", |b| {
+    group.bench_function("decrypt_line_pad_cached", |b| {
         b.iter(|| cme.decrypt_line(black_box(0x40), black_box(&cipher)))
+    });
+    group.bench_function("decrypt_line_uncached", |b| {
+        let mut cme = CmeEngine::new([7u8; 16]);
+        cme.set_pad_cache_lines(0);
+        let cipher = cme.encrypt_line(0x40, &line);
+        b.iter(|| cme.decrypt_line(black_box(0x40), black_box(&cipher)))
+    });
+    group.finish();
+}
+
+/// The rebuilt flat structures against the implementations they replaced.
+fn bench_structures_vs_reference(c: &mut Criterion) {
+    const ENTRIES: u64 = 4096;
+    let mut group = c.benchmark_group("structure_vs_reference");
+    group.bench_function("lru_get_hit_flat", |b| {
+        let mut cache: esd_sim::LruCache<u64, u64> = esd_sim::LruCache::new(ENTRIES as usize);
+        for i in 0..ENTRIES {
+            cache.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            cache.get(black_box(&(k * 64))).copied()
+        })
+    });
+    group.bench_function("lru_get_hit_map_based", |b| {
+        let mut cache: esd_sim::reference::LruCache<u64, u64> =
+            esd_sim::reference::LruCache::new(ENTRIES as usize);
+        for i in 0..ENTRIES {
+            cache.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            cache.get(black_box(&(k * 64))).copied()
+        })
+    });
+    group.bench_function("u64_table_get_hit", |b| {
+        let mut map: U64Map<u64> = U64Map::with_capacity(ENTRIES as usize);
+        for i in 0..ENTRIES {
+            map.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            map.get(black_box(k * 64)).copied()
+        })
+    });
+    group.bench_function("std_hashmap_get_hit", |b| {
+        let mut map: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::with_capacity(ENTRIES as usize);
+        for i in 0..ENTRIES {
+            map.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            map.get(black_box(&(k * 64))).copied()
+        })
     });
     group.finish();
 }
@@ -139,6 +199,7 @@ criterion_group!(
     bench_kernels_vs_reference,
     bench_ecc_decode,
     bench_cme,
+    bench_structures_vs_reference,
     bench_metadata,
     bench_trace_generation,
     bench_schemes_end_to_end

@@ -1,28 +1,36 @@
 //! Measures the parallel sweep against its single-threaded reference,
-//! times the hot-path kernels against their reference implementations, and
-//! writes `BENCH_sweep.json` at the repo root.
+//! times the hot-path kernels and metadata structures against their
+//! reference implementations, and writes `BENCH_sweep.json` at the repo
+//! root.
 //!
 //! Runs the full 20-workload x 4-scheme sweep twice: once through
 //! [`Sweep::run_serial`] (one thread, each trace generated once) and once
-//! through [`Sweep::run_timed`] (the work-stealing pool). The report
-//! records both wall-clocks, the aggregate replay throughput, the parallel
-//! speedup, per-(workload, scheme) replay times, and the per-operation
-//! speedup of each optimized kernel (T-table AES, table-driven Hamming
-//! encode, unrolled SHA-1/MD5) over the reference formulation it replaced.
+//! through [`Sweep::run_timed`] (the work-stealing pool at full machine
+//! parallelism). The report records both wall-clocks and throughputs, the
+//! actual pool size used, the parallel speedup, the end-to-end throughput
+//! delta against the previously checked-in report, per-(workload, scheme)
+//! replay times, the per-operation speedup of each optimized kernel
+//! (T-table AES, table-driven Hamming encode, unrolled SHA-1/MD5) over the
+//! reference formulation it replaced, and the same for the metadata
+//! structures (flat LRU vs the map-based cache, open-addressed `U64Map` vs
+//! `std::collections::HashMap`, pad-cached CTR decrypt vs uncached).
 //!
 //! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS` (see the crate
 //! docs), plus `ESD_BENCH_OUT` to redirect the JSON file.
 
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
 
 use esd_bench::report_json::{
-    default_report_path, write_bench_json, KernelSpeedup, SerialBaseline,
+    default_report_path, read_previous_accesses_per_second, write_bench_json, BenchExtras,
+    KernelSpeedup, SerialBaseline,
 };
 use esd_bench::Sweep;
+use esd_collections::U64Map;
 use esd_core::SchemeKind;
-use esd_crypto::Aes128;
+use esd_crypto::{Aes128, CmeEngine};
 use esd_ecc::{encode_line, encode_word_ref, LINE_BYTES};
 
 /// Nanoseconds per call of `op`, timed over enough iterations to dwarf
@@ -120,6 +128,98 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
     kernels
 }
 
+/// Times the rebuilt metadata structures against the implementations they
+/// replaced, on the access patterns the simulator actually produces
+/// (hot-hit lookups over line-aligned u64 keys).
+fn measure_structures() -> Vec<KernelSpeedup> {
+    const ENTRIES: u64 = 4096;
+    let mut structures = Vec::new();
+
+    // Flat LRU (slab + intrusive list + open-addressed index) vs the seed's
+    // HashMap + BTreeMap cache: `get` on a full cache is the AMT/fingerprint
+    // hot path — every hit re-stamps recency.
+    let mut flat: esd_sim::LruCache<u64, u64> = esd_sim::LruCache::new(ENTRIES as usize);
+    let mut mapped: esd_sim::reference::LruCache<u64, u64> =
+        esd_sim::reference::LruCache::new(ENTRIES as usize);
+    for i in 0..ENTRIES {
+        flat.insert(i * 64, i);
+        mapped.insert(i * 64, i);
+    }
+    let mut k_ref = 0u64;
+    let mut k_fast = 0u64;
+    structures.push(KernelSpeedup {
+        name: "lru_get_hit".into(),
+        reference_ns: time_ns(|| {
+            k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(mapped.get(&(k_ref * 64)));
+        }),
+        fast_ns: time_ns(|| {
+            k_fast = k_fast.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(flat.get(&(k_fast * 64)));
+        }),
+    });
+
+    // Open-addressed U64Map vs std HashMap (SipHash): the shape of every
+    // AMT / fingerprint-table / refcount probe.
+    let mut std_map: HashMap<u64, u64> = HashMap::with_capacity(ENTRIES as usize);
+    let mut u64_map: U64Map<u64> = U64Map::with_capacity(ENTRIES as usize);
+    for i in 0..ENTRIES {
+        std_map.insert(i * 64, i);
+        u64_map.insert(i * 64, i);
+    }
+    let mut k_ref = 0u64;
+    let mut k_fast = 0u64;
+    structures.push(KernelSpeedup {
+        name: "u64_table_get_hit".into(),
+        reference_ns: time_ns(|| {
+            k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(std_map.get(&(k_ref * 64)));
+        }),
+        fast_ns: time_ns(|| {
+            k_fast = k_fast.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(u64_map.get(k_fast * 64));
+        }),
+    });
+
+    // CTR decrypt with the keystream pad cache vs without: the read-path /
+    // verify-read cost, where the line's counter has not moved since the
+    // pad was last expanded.
+    const CME_LINES: u64 = 256;
+    let mut cached = CmeEngine::new([0x2Bu8; 16]);
+    let mut uncached = CmeEngine::new([0x2Bu8; 16]);
+    uncached.set_pad_cache_lines(0);
+    let plain = [0xA5u8; 64];
+    let mut ciphers = Vec::new();
+    for i in 0..CME_LINES {
+        let c = cached.encrypt_line(i * 64, &plain);
+        uncached.encrypt_line(i * 64, &plain);
+        ciphers.push(c);
+    }
+    let mut k_ref = 0u64;
+    let mut k_fast = 0u64;
+    structures.push(KernelSpeedup {
+        name: "cme_decrypt_line".into(),
+        reference_ns: time_ns(|| {
+            k_ref = (k_ref + 1) % CME_LINES;
+            black_box(
+                uncached
+                    .decrypt_line(k_ref * 64, &ciphers[k_ref as usize])
+                    .unwrap(),
+            );
+        }),
+        fast_ns: time_ns(|| {
+            k_fast = (k_fast + 1) % CME_LINES;
+            black_box(
+                cached
+                    .decrypt_line(k_fast * 64, &ciphers[k_fast as usize])
+                    .unwrap(),
+            );
+        }),
+    });
+
+    structures
+}
+
 fn main() {
     let sweep = Sweep::default();
     let out_path = std::env::var_os("ESD_BENCH_OUT")
@@ -133,6 +233,10 @@ fn main() {
         sweep.seed
     );
 
+    // Capture the previous report's end-to-end throughput before we
+    // overwrite the file, so the new report can record the delta.
+    let previous = read_previous_accesses_per_second(&out_path);
+
     eprintln!("bench_report: timing hot-path kernels ...");
     let kernels = measure_kernels();
     for k in &kernels {
@@ -142,6 +246,18 @@ fn main() {
             k.reference_ns,
             k.fast_ns,
             k.speedup()
+        );
+    }
+
+    eprintln!("bench_report: timing metadata structures ...");
+    let structures = measure_structures();
+    for s in &structures {
+        eprintln!(
+            "bench_report:   {:<24} {:>8.1} ns -> {:>7.1} ns  ({:.2}x)",
+            s.name,
+            s.reference_ns,
+            s.fast_ns,
+            s.speedup()
         );
     }
 
@@ -177,13 +293,24 @@ fn main() {
 
     let speedup = serial_wall.as_secs_f64() / outcome.wall.as_secs_f64().max(1e-9);
     eprintln!("bench_report: parallel speedup {speedup:.2}x");
+    if let Some(previous) = previous {
+        eprintln!(
+            "bench_report: end-to-end {:.0} accesses/s vs previous {previous:.0} ({:.2}x)",
+            outcome.accesses_per_second(sweep.accesses),
+            outcome.accesses_per_second(sweep.accesses) / previous.max(1e-9)
+        );
+    }
 
     write_bench_json(
         &out_path,
         &sweep,
         &outcome,
-        Some(SerialBaseline { wall: serial_wall }),
-        &kernels,
+        &BenchExtras {
+            serial: Some(SerialBaseline { wall: serial_wall }),
+            kernels: &kernels,
+            structures: &structures,
+            previous_accesses_per_second: previous,
+        },
     )
     .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
     println!("wrote {}", out_path.display());

@@ -7,7 +7,7 @@
 //! binaries (`fig01`, `fig02`, `fig03`, `fig08`, `fig18`, `config`).
 
 use esd_bench::figures;
-use esd_bench::report_json::{default_report_path, write_bench_json};
+use esd_bench::report_json::{default_report_path, write_bench_json, BenchExtras};
 use esd_bench::{print_figure_header, Sweep};
 use esd_core::SchemeKind;
 
@@ -22,7 +22,7 @@ fn main() {
     // Record the sweep's cost alongside the figures (no serial baseline
     // here; `bench_report` measures that).
     let report_path = default_report_path();
-    match write_bench_json(&report_path, &sweep, &outcome, None, &[]) {
+    match write_bench_json(&report_path, &sweep, &outcome, &BenchExtras::default()) {
         Ok(()) => eprintln!(
             "sweep: {:.2}s on {} threads -> {}",
             outcome.wall.as_secs_f64(),

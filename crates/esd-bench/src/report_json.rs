@@ -3,9 +3,11 @@
 //! A small hand-rolled JSON emitter (the workspace's serde is a compile-only
 //! stub) that records what a sweep cost: wall-clock, aggregate replay
 //! throughput in accesses per second, worker-thread count, per-(workload,
-//! scheme) replay seconds, and — when a serial baseline was measured — the
-//! parallel speedup. Written to the repository root by the `bench_report`
-//! and `fig_all` binaries.
+//! scheme) replay seconds, and — when measured — the serial baseline run,
+//! the per-operation speedups of the optimized kernels and metadata
+//! structures over their reference implementations, and the end-to-end
+//! throughput delta against the previously checked-in report. Written to
+//! the repository root by the `bench_report` and `fig_all` binaries.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -26,17 +28,20 @@ pub fn default_report_path() -> PathBuf {
         .map_or_else(|| PathBuf::from("BENCH_sweep.json"), |root| root.join("BENCH_sweep.json"))
 }
 
-/// Serial-baseline measurement accompanying a parallel sweep.
+/// Serial-baseline measurement accompanying a parallel sweep: the same task
+/// set replayed on one thread.
 #[derive(Debug, Clone, Copy)]
 pub struct SerialBaseline {
     /// Wall-clock of the single-threaded reference sweep.
     pub wall: Duration,
 }
 
-/// A measured hot-path kernel against its reference implementation.
+/// A measured operation against its reference implementation — a compute
+/// kernel (AES, SHA-1, ...) or a metadata structure's hot operation (flat
+/// LRU touch, open-addressed probe, cached pad decrypt).
 #[derive(Debug, Clone)]
 pub struct KernelSpeedup {
-    /// Kernel name, e.g. `"aes128_encrypt_block"`.
+    /// Operation name, e.g. `"aes128_encrypt_block"` or `"lru_get_hit"`.
     pub name: String,
     /// Reference-implementation cost per operation, nanoseconds.
     pub reference_ns: f64,
@@ -56,20 +61,47 @@ impl KernelSpeedup {
     }
 }
 
+/// Optional measurements accompanying the sweep in the report.
+#[derive(Debug, Clone, Default)]
+pub struct BenchExtras<'a> {
+    /// Single-threaded reference run of the same task set.
+    pub serial: Option<SerialBaseline>,
+    /// Hot-path compute kernels vs their reference implementations.
+    pub kernels: &'a [KernelSpeedup],
+    /// Metadata structures (LRU, open-addressed table, pad cache) vs the
+    /// map-based / uncached implementations they replaced.
+    pub structures: &'a [KernelSpeedup],
+    /// `accesses_per_second` of the previously checked-in report, for the
+    /// end-to-end before/after delta.
+    pub previous_accesses_per_second: Option<f64>,
+}
+
+/// Extracts `accesses_per_second` from a previously written report, so the
+/// new report can record the end-to-end delta. Returns `None` if the file
+/// is missing or the field cannot be found.
+#[must_use]
+pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"accesses_per_second\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Renders the report as a JSON string.
 #[must_use]
-pub fn render_bench_json(
-    sweep: &Sweep,
-    outcome: &SweepOutcome,
-    serial: Option<SerialBaseline>,
-    kernels: &[KernelSpeedup],
-) -> String {
+pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v1"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v2"));
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
     push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
+    // The worker count the pool actually ran with (after clamping to the
+    // task count and machine parallelism), not the requested cap.
     push_kv(&mut out, 1, "threads", &outcome.threads.to_string());
     push_kv(
         &mut out,
@@ -83,15 +115,37 @@ pub fn render_bench_json(
         "wall_seconds",
         &json_f64(outcome.wall.as_secs_f64()),
     );
+    let accesses_per_second = outcome.accesses_per_second(sweep.accesses);
     push_kv(
         &mut out,
         1,
         "accesses_per_second",
-        &json_f64(outcome.accesses_per_second(sweep.accesses)),
+        &json_f64(accesses_per_second),
     );
-    if let Some(serial) = serial {
+    if let Some(previous) = extras.previous_accesses_per_second {
+        push_kv(&mut out, 1, "previous_accesses_per_second", &json_f64(previous));
+        let delta = if previous > 0.0 {
+            accesses_per_second / previous
+        } else {
+            0.0
+        };
+        push_kv(&mut out, 1, "speedup_vs_previous", &json_f64(delta));
+    }
+    if let Some(serial) = extras.serial {
         let serial_wall = serial.wall.as_secs_f64();
+        push_kv(&mut out, 1, "serial_threads", "1");
         push_kv(&mut out, 1, "serial_wall_seconds", &json_f64(serial_wall));
+        let serial_rate = if serial_wall > 0.0 {
+            outcome.total_accesses(sweep.accesses) as f64 / serial_wall
+        } else {
+            0.0
+        };
+        push_kv(
+            &mut out,
+            1,
+            "serial_accesses_per_second",
+            &json_f64(serial_rate),
+        );
         let speedup = if outcome.wall.as_secs_f64() > 0.0 {
             serial_wall / outcome.wall.as_secs_f64()
         } else {
@@ -99,25 +153,8 @@ pub fn render_bench_json(
         };
         push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
     }
-    if !kernels.is_empty() {
-        out.push_str("  \"kernel_speedups\": [\n");
-        for (i, k) in kernels.iter().enumerate() {
-            out.push_str("    {");
-            out.push_str(&format!(
-                "\"kernel\": {}, \"reference_ns\": {}, \"fast_ns\": {}, \"speedup\": {}",
-                json_str(&k.name),
-                json_f64(k.reference_ns),
-                json_f64(k.fast_ns),
-                json_f64(k.speedup())
-            ));
-            out.push('}');
-            if i + 1 < kernels.len() {
-                out.push(',');
-            }
-            out.push('\n');
-        }
-        out.push_str("  ],\n");
-    }
+    push_speedup_array(&mut out, "kernel_speedups", "kernel", extras.kernels);
+    push_speedup_array(&mut out, "structure_speedups", "structure", extras.structures);
     out.push_str("  \"tasks\": [\n");
     for (i, task) in outcome.tasks.iter().enumerate() {
         out.push_str("    {");
@@ -146,10 +183,32 @@ pub fn write_bench_json(
     path: &Path,
     sweep: &Sweep,
     outcome: &SweepOutcome,
-    serial: Option<SerialBaseline>,
-    kernels: &[KernelSpeedup],
+    extras: &BenchExtras<'_>,
 ) -> io::Result<()> {
-    std::fs::write(path, render_bench_json(sweep, outcome, serial, kernels))
+    std::fs::write(path, render_bench_json(sweep, outcome, extras))
+}
+
+fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[KernelSpeedup]) {
+    if items.is_empty() {
+        return;
+    }
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, k) in items.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"{item_key}\": {}, \"reference_ns\": {}, \"fast_ns\": {}, \"speedup\": {}",
+            json_str(&k.name),
+            json_f64(k.reference_ns),
+            json_f64(k.fast_ns),
+            json_f64(k.speedup())
+        ));
+        out.push('}');
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
 }
 
 fn push_kv(out: &mut String, indent: usize, key: &str, value: &str) {
@@ -208,23 +267,38 @@ mod tests {
             reference_ns: 100.0,
             fast_ns: 25.0,
         }];
+        let structures = [KernelSpeedup {
+            name: "lru_get_hit".into(),
+            reference_ns: 50.0,
+            fast_ns: 10.0,
+        }];
         assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
         let json = render_bench_json(
             &sweep,
             &outcome,
-            Some(SerialBaseline {
-                wall: Duration::from_secs_f64(1.0),
-            }),
-            &kernels,
+            &BenchExtras {
+                serial: Some(SerialBaseline {
+                    wall: Duration::from_secs_f64(1.0),
+                }),
+                kernels: &kernels,
+                structures: &structures,
+                previous_accesses_per_second: Some(1000.0),
+            },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v1\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v2\""));
         assert!(json.contains("\"accesses_per_task\": 500"));
         assert!(json.contains("\"Baseline\""));
         assert!(json.contains("\"ESD\"") || json.contains("\"Esd\""));
+        assert!(json.contains("\"serial_threads\": 1"));
         assert!(json.contains("\"serial_wall_seconds\""));
+        assert!(json.contains("\"serial_accesses_per_second\""));
         assert!(json.contains("\"parallel_speedup\""));
+        assert!(json.contains("\"previous_accesses_per_second\": 1000.000000"));
+        assert!(json.contains("\"speedup_vs_previous\""));
         assert!(json.contains("\"kernel\": \"aes128_encrypt_block\""));
         assert!(json.contains("\"speedup\": 4.000000"));
+        assert!(json.contains("\"structure\": \"lru_get_hit\""));
+        assert!(json.contains("\"speedup\": 5.000000"));
         assert_eq!(json.matches("\"replay_seconds\"").count(), 2);
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -232,12 +306,32 @@ mod tests {
     }
 
     #[test]
-    fn serial_fields_are_omitted_without_baseline() {
+    fn optional_fields_are_omitted_without_measurements() {
         let (sweep, outcome) = tiny_outcome();
-        let json = render_bench_json(&sweep, &outcome, None, &[]);
+        let json = render_bench_json(&sweep, &outcome, &BenchExtras::default());
         assert!(!json.contains("serial_wall_seconds"));
+        assert!(!json.contains("serial_accesses_per_second"));
         assert!(!json.contains("parallel_speedup"));
         assert!(!json.contains("kernel_speedups"));
+        assert!(!json.contains("structure_speedups"));
+        assert!(!json.contains("previous_accesses_per_second"));
+    }
+
+    #[test]
+    fn previous_rate_round_trips_through_the_file() {
+        let (sweep, outcome) = tiny_outcome();
+        let json = render_bench_json(&sweep, &outcome, &BenchExtras::default());
+        let dir = std::env::temp_dir();
+        let path = dir.join("esd_bench_report_json_test.json");
+        std::fs::write(&path, &json).unwrap();
+        let parsed = read_previous_accesses_per_second(&path).unwrap();
+        let expected = outcome.accesses_per_second(sweep.accesses);
+        assert!(
+            (parsed - expected).abs() <= expected * 1e-6 + 1e-6,
+            "parsed {parsed} vs emitted {expected}"
+        );
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read_previous_accesses_per_second(&path), None);
     }
 
     #[test]

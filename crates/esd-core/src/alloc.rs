@@ -6,8 +6,7 @@
 //! from the address-mapping table, and recycles lines whose last reference
 //! dropped.
 
-use std::collections::HashMap;
-
+use esd_collections::U64Map;
 use esd_sim::LINE_BYTES;
 
 /// Allocates physical line addresses and tracks per-line reference counts.
@@ -26,7 +25,7 @@ use esd_sim::LINE_BYTES;
 pub struct PhysicalAllocator {
     next: u64,
     free: Vec<u64>,
-    refcounts: HashMap<u64, u32>,
+    refcounts: U64Map<u32>,
 }
 
 impl PhysicalAllocator {
@@ -55,7 +54,7 @@ impl PhysicalAllocator {
     pub fn incref(&mut self, addr: u64) {
         let count = self
             .refcounts
-            .get_mut(&addr)
+            .get_mut(addr)
             .expect("incref of unallocated physical line");
         *count += 1;
     }
@@ -68,11 +67,11 @@ impl PhysicalAllocator {
     pub fn decref(&mut self, addr: u64) -> bool {
         let count = self
             .refcounts
-            .get_mut(&addr)
+            .get_mut(addr)
             .expect("decref of unallocated physical line");
         *count -= 1;
         if *count == 0 {
-            self.refcounts.remove(&addr);
+            self.refcounts.remove(addr);
             self.free.push(addr);
             true
         } else {
@@ -83,7 +82,7 @@ impl PhysicalAllocator {
     /// Current reference count of a line (zero if unallocated).
     #[must_use]
     pub fn refcount(&self, addr: u64) -> u32 {
-        self.refcounts.get(&addr).copied().unwrap_or(0)
+        self.refcounts.get(addr).copied().unwrap_or(0)
     }
 
     /// Number of physical lines currently allocated.

@@ -7,6 +7,7 @@
 //! metadata read from NVMM on the access path, and dirty evictions cost a
 //! metadata write.
 
+use esd_collections::U64Map;
 use esd_sim::{CacheStats, LruCache, NvmmSystem, Ps};
 
 /// Bytes per AMT entry: `initAddr` (4) + `Addr_base` (4) + `Addr_offsets`
@@ -42,7 +43,7 @@ struct CachedMapping {
 #[derive(Debug, Clone)]
 pub struct Amt {
     /// Authoritative table ("in NVMM"): logical -> physical.
-    table: std::collections::HashMap<u64, u64>,
+    table: U64Map<u64>,
     /// Hot entries buffered in controller SRAM.
     cache: LruCache<u64, CachedMapping>,
     /// SRAM probe latency.
@@ -72,7 +73,7 @@ impl Amt {
     pub fn with_sram_latency(cache_bytes: u64, sram_latency: Ps) -> Self {
         let entries = (cache_bytes as usize / AMT_ENTRY_BYTES).max(1);
         Amt {
-            table: std::collections::HashMap::new(),
+            table: U64Map::new(),
             cache: LruCache::new(entries),
             sram_latency,
             nvmm_fills: 0,
@@ -123,7 +124,7 @@ impl Amt {
     /// Current physical mapping without charging any time (test/inspection).
     #[must_use]
     pub fn peek(&self, logical: u64) -> Option<u64> {
-        self.table.get(&logical).copied()
+        self.table.get(logical).copied()
     }
 
     /// Translates a logical address, charging SRAM probe time and — on a
@@ -141,7 +142,7 @@ impl Amt {
         if let Some(cached) = self.cache.get(&logical) {
             return (Some(cached.physical), t);
         }
-        match self.table.get(&logical).copied() {
+        match self.table.get(logical).copied() {
             Some(physical) => {
                 // Miss: fetch the entry's NVMM metadata line.
                 let completion = nvmm.metadata_read(t, Self::meta_line_of(logical));

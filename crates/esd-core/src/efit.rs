@@ -11,8 +11,9 @@
 //! all counts so stale entries age out. A plain-LRU mode is provided for the
 //! paper's Figure 18 "without LRCU" ablation.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
+use esd_collections::U64Map;
 use esd_sim::CacheStats;
 
 /// Bytes per EFIT entry: ECC (8) + `Addr_base` (4) + `Addr_offsets` (1) +
@@ -63,11 +64,11 @@ struct Slot {
 pub struct Efit {
     policy: EfitPolicy,
     capacity: usize,
-    entries: HashMap<u64, Slot>,
+    entries: U64Map<Slot>,
     /// Eviction order: (priority, stamp, fingerprint) — for LRCU the
     /// priority is the reference count, for LRU it is constant.
     order: BTreeSet<(u8, u64, u64)>,
-    by_physical: HashMap<u64, u64>,
+    by_physical: U64Map<u64>,
     stamp_counter: u64,
     decay_interval: u64,
     ops_since_decay: u64,
@@ -89,9 +90,9 @@ impl Efit {
         Efit {
             policy,
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: U64Map::with_capacity(capacity),
             order: BTreeSet::new(),
-            by_physical: HashMap::new(),
+            by_physical: U64Map::with_capacity(capacity),
             stamp_counter: 0,
             decay_interval: Self::DEFAULT_DECAY_INTERVAL,
             ops_since_decay: 0,
@@ -143,7 +144,7 @@ impl Efit {
     /// Looks up a fingerprint, counting the probe in the statistics and
     /// (under LRU) refreshing recency.
     pub fn lookup(&mut self, fingerprint: u64) -> Option<EfitEntry> {
-        if let Some(slot) = self.entries.get(&fingerprint).copied() {
+        if let Some(slot) = self.entries.get(fingerprint).copied() {
             self.stats.hits += 1;
             if self.policy == EfitPolicy::Lru {
                 self.retag(fingerprint);
@@ -164,7 +165,7 @@ impl Efit {
     /// Returns `None` if the fingerprint is not resident.
     pub fn bump_ref(&mut self, fingerprint: u64) -> Option<u8> {
         self.tick();
-        let slot = self.entries.get(&fingerprint).copied()?;
+        let slot = self.entries.get(fingerprint).copied()?;
         let key = self.order_key(&slot, fingerprint);
         self.order.remove(&key);
         let new_refer = slot.refer.saturating_add(1);
@@ -187,10 +188,10 @@ impl Efit {
     pub fn insert(&mut self, fingerprint: u64, physical: u64) -> Option<u64> {
         self.tick();
         // Replace an existing mapping in place.
-        if let Some(old) = self.entries.get(&fingerprint).copied() {
+        if let Some(old) = self.entries.get(fingerprint).copied() {
             let key = self.order_key(&old, fingerprint);
             self.order.remove(&key);
-            self.by_physical.remove(&old.physical);
+            self.by_physical.remove(old.physical);
             let slot = Slot {
                 physical,
                 refer: 1,
@@ -205,8 +206,8 @@ impl Efit {
             let &victim_key = self.order.iter().next().expect("full table has entries");
             let (_, _, victim_fp) = victim_key;
             self.order.remove(&victim_key);
-            let victim = self.entries.remove(&victim_fp).expect("victim resident");
-            self.by_physical.remove(&victim.physical);
+            let victim = self.entries.remove(victim_fp).expect("victim resident");
+            self.by_physical.remove(victim.physical);
             self.stats.evictions += 1;
             Some(victim.physical)
         } else {
@@ -232,8 +233,8 @@ impl Efit {
     /// Drops the entry (if any) whose target physical line was freed, so a
     /// stale fingerprint can never dedup against recycled storage.
     pub fn invalidate_physical(&mut self, physical: u64) {
-        if let Some(fp) = self.by_physical.remove(&physical) {
-            if let Some(slot) = self.entries.remove(&fp) {
+        if let Some(fp) = self.by_physical.remove(physical) {
+            if let Some(slot) = self.entries.remove(fp) {
                 let key = self.order_key(&slot, fp);
                 self.order.remove(&key);
             }
@@ -253,7 +254,7 @@ impl Efit {
     }
 
     fn retag(&mut self, fingerprint: u64) {
-        if let Some(slot) = self.entries.get(&fingerprint).copied() {
+        if let Some(slot) = self.entries.get(fingerprint).copied() {
             let key = self.order_key(&slot, fingerprint);
             self.order.remove(&key);
             let new_slot = Slot {
@@ -277,7 +278,7 @@ impl Efit {
         }
         self.ops_since_decay = 0;
         let mut rebuilt = BTreeSet::new();
-        for (&fp, slot) in &mut self.entries {
+        for (fp, slot) in self.entries.iter_mut() {
             slot.refer = slot.refer.saturating_sub(1).max(1);
             rebuilt.insert((slot.refer, slot.stamp, fp));
         }

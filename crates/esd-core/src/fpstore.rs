@@ -6,8 +6,7 @@
 //! — the bottleneck the paper quantifies in Figure 5 and that ESD's
 //! selective deduplication eliminates.
 
-use std::collections::HashMap;
-
+use esd_collections::U64Map;
 use esd_sim::{CacheStats, LruCache, NvmmSystem, Ps};
 
 /// Base NVMM address of the fingerprint-store region.
@@ -40,6 +39,11 @@ pub struct FpLookup {
 
 /// A full fingerprint index: authoritative table in NVMM, hot slice in SRAM.
 ///
+/// The forward table (`fingerprint → physical`) and the reverse table
+/// (`physical → fingerprint`) are kept mutually consistent as a bijection:
+/// re-pointing a fingerprint drops its stale reverse entry, and re-claiming
+/// a physical line drops the stale fingerprint that used to describe it.
+///
 /// # Examples
 ///
 /// ```
@@ -47,7 +51,9 @@ pub struct FpLookup {
 /// use esd_sim::{NvmmSystem, PcmConfig, Ps};
 ///
 /// let mut nvmm = NvmmSystem::new(PcmConfig::default());
-/// let mut store = FingerprintStore::new(1 << 10, 29);
+/// // Pre-size the index for the expected number of unique lines so the
+/// // open-addressed tables never rehash mid-replay.
+/// let mut store = FingerprintStore::with_expected_entries(1 << 10, 29, 4096);
 /// store.insert(Ps::ZERO, 0xFEED, 0x40, &mut nvmm);
 /// let hit = store.lookup(Ps::ZERO, 0xFEED, &mut nvmm);
 /// assert_eq!(hit.physical, Some(0x40));
@@ -56,8 +62,8 @@ pub struct FpLookup {
 #[derive(Debug, Clone)]
 pub struct FingerprintStore {
     /// Authoritative fingerprint → physical table ("in NVMM").
-    table: HashMap<u64, u64>,
-    by_physical: HashMap<u64, u64>,
+    table: U64Map<u64>,
+    by_physical: U64Map<u64>,
     cache: LruCache<u64, u64>,
     entry_bytes: usize,
     sram_latency: Ps,
@@ -78,11 +84,28 @@ impl FingerprintStore {
     /// entry.
     #[must_use]
     pub fn new(cache_bytes: u64, entry_bytes: usize) -> Self {
+        FingerprintStore::with_expected_entries(cache_bytes, entry_bytes, 0)
+    }
+
+    /// Like [`FingerprintStore::new`], but pre-sizes the index tables for
+    /// `expected_entries` unique fingerprints so they never rehash during a
+    /// replay. `0` starts at the minimum size and grows on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero or the cache holds fewer than one
+    /// entry.
+    #[must_use]
+    pub fn with_expected_entries(
+        cache_bytes: u64,
+        entry_bytes: usize,
+        expected_entries: usize,
+    ) -> Self {
         assert!(entry_bytes > 0, "entry size must be nonzero");
         let entries = (cache_bytes as usize / entry_bytes).max(1);
         FingerprintStore {
-            table: HashMap::new(),
-            by_physical: HashMap::new(),
+            table: U64Map::with_capacity(expected_entries),
+            by_physical: U64Map::with_capacity(expected_entries),
             cache: LruCache::new(entries),
             entry_bytes,
             sram_latency: Ps::from_ns(2),
@@ -137,7 +160,7 @@ impl FingerprintStore {
         let completion = nvmm.metadata_read(t, Self::meta_line_of(fingerprint));
         self.nvmm_lookups += 1;
         let done = completion.finish;
-        match self.table.get(&fingerprint).copied() {
+        match self.table.get(fingerprint).copied() {
             Some(physical) => {
                 self.cache.insert(fingerprint, physical);
                 FpLookup {
@@ -156,9 +179,25 @@ impl FingerprintStore {
 
     /// Inserts a new fingerprint; NVMM index writes are amortized over the
     /// number of entries per 64-byte metadata line.
+    ///
+    /// The forward and reverse tables stay a bijection: if `fingerprint`
+    /// previously mapped to another physical line, or `physical` was
+    /// previously described by another fingerprint, the stale halves of
+    /// those pairings are dropped.
     pub fn insert(&mut self, now: Ps, fingerprint: u64, physical: u64, nvmm: &mut NvmmSystem) {
-        self.table.insert(fingerprint, physical);
-        self.by_physical.insert(physical, fingerprint);
+        if let Some(old_physical) = self.table.insert(fingerprint, physical) {
+            if old_physical != physical
+                && self.by_physical.get(old_physical) == Some(&fingerprint)
+            {
+                self.by_physical.remove(old_physical);
+            }
+        }
+        if let Some(old_fp) = self.by_physical.insert(physical, fingerprint) {
+            if old_fp != fingerprint {
+                self.table.remove(old_fp);
+                self.cache.remove(&old_fp);
+            }
+        }
         self.cache.insert(fingerprint, physical);
         self.pending_inserts += 1;
         let entries_per_line = (64 / self.entry_bytes).max(1);
@@ -171,8 +210,8 @@ impl FingerprintStore {
 
     /// Removes the fingerprint mapped to a freed physical line.
     pub fn remove_physical(&mut self, physical: u64) {
-        if let Some(fp) = self.by_physical.remove(&physical) {
-            self.table.remove(&fp);
+        if let Some(fp) = self.by_physical.remove(physical) {
+            self.table.remove(fp);
             self.cache.remove(&fp);
         }
     }
@@ -189,6 +228,25 @@ mod tests {
 
     fn nvmm() -> NvmmSystem {
         NvmmSystem::new(PcmConfig::default())
+    }
+
+    /// Asserts `table` and `by_physical` are exact inverses of each other.
+    fn assert_bijection(store: &FingerprintStore) {
+        assert_eq!(store.table.len(), store.by_physical.len());
+        for (fp, &physical) in store.table.iter() {
+            assert_eq!(
+                store.by_physical.get(physical),
+                Some(&fp),
+                "by_physical[{physical:#x}] must point back to fp {fp:#x}"
+            );
+        }
+        for (physical, &fp) in store.by_physical.iter() {
+            assert_eq!(
+                store.table.get(fp),
+                Some(&physical),
+                "table[{fp:#x}] must point back to physical {physical:#x}"
+            );
+        }
     }
 
     #[test]
@@ -223,6 +281,7 @@ mod tests {
         let hit = store.lookup(Ps::ZERO, 1, &mut mem);
         assert_eq!(hit.source, LookupSource::Nvmm);
         assert_eq!(hit.physical, Some(0x40));
+        assert_bijection(&store);
     }
 
     #[test]
@@ -245,6 +304,7 @@ mod tests {
         assert!(store.is_empty());
         let miss = store.lookup(Ps::ZERO, 7, &mut mem);
         assert_eq!(miss.source, LookupSource::Absent);
+        assert_bijection(&store);
     }
 
     #[test]
@@ -258,5 +318,71 @@ mod tests {
         }
         assert_eq!(sha1.nvmm_bytes(), 290);
         assert_eq!(crc.nvmm_bytes(), 170);
+    }
+
+    #[test]
+    fn insert_overwrite_drops_stale_reverse_entry() {
+        // Re-pointing fp 7 from line 0x40 to 0x80 must not leave
+        // by_physical[0x40] referring to it; freeing 0x40 afterwards would
+        // otherwise delete the live mapping.
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(1024, 29);
+        store.insert(Ps::ZERO, 7, 0x40, &mut mem);
+        store.insert(Ps::ZERO, 7, 0x80, &mut mem);
+        assert_bijection(&store);
+        assert_eq!(store.len(), 1);
+        store.remove_physical(0x40); // stale address: must be a no-op
+        let hit = store.lookup(Ps::ZERO, 7, &mut mem);
+        assert_eq!(hit.physical, Some(0x80));
+        assert_bijection(&store);
+    }
+
+    #[test]
+    fn duplicate_physical_evicts_stale_fingerprint() {
+        // Line 0x40 is rewritten with new content (fp 8): the old
+        // fingerprint (fp 7) no longer describes any line and must leave
+        // both the table and the SRAM cache.
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::new(1024, 29);
+        store.insert(Ps::ZERO, 7, 0x40, &mut mem);
+        store.insert(Ps::ZERO, 8, 0x40, &mut mem);
+        assert_bijection(&store);
+        assert_eq!(store.len(), 1);
+        let stale = store.lookup(Ps::ZERO, 7, &mut mem);
+        assert_eq!(stale.source, LookupSource::Absent);
+        let live = store.lookup(Ps::ZERO, 8, &mut mem);
+        assert_eq!(live.physical, Some(0x40));
+    }
+
+    #[test]
+    fn tables_stay_consistent_under_churn() {
+        let mut mem = nvmm();
+        let mut store = FingerprintStore::with_expected_entries(64 * 29, 29, 32);
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let fp = x % 48;
+            let physical = ((x >> 8) % 48) * 64;
+            match x % 4 {
+                0 => {
+                    store.remove_physical(physical);
+                }
+                1 => {
+                    store.lookup(Ps::ZERO, fp, &mut mem);
+                }
+                _ => {
+                    store.insert(Ps::ZERO, fp, physical, &mut mem);
+                }
+            }
+        }
+        assert_bijection(&store);
+        // Every cached entry (including those refilled by lookups) must
+        // agree with the authoritative table.
+        for fp in store.table.keys().collect::<Vec<_>>() {
+            let hit = store.lookup(Ps::ZERO, fp, &mut mem);
+            assert_eq!(hit.physical, store.table.get(fp).copied());
+        }
     }
 }

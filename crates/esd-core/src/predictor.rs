@@ -10,7 +10,7 @@
 //! The predictor here is a per-address two-bit saturating counter backed by
 //! a global duplicate-ratio fallback for unseen addresses.
 
-use std::collections::HashMap;
+use esd_collections::U64Map;
 
 /// Prediction accuracy counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,7 +47,7 @@ impl PredictorStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DupPredictor {
-    counters: HashMap<u64, u8>,
+    counters: U64Map<u8>,
     global_dups: u64,
     global_total: u64,
     stats: PredictorStats,
@@ -69,7 +69,7 @@ impl DupPredictor {
     /// Predicts whether the next write to `addr` will be a duplicate.
     #[must_use]
     pub fn predict(&self, addr: u64) -> bool {
-        match self.counters.get(&addr) {
+        match self.counters.get(addr) {
             Some(&counter) => counter >= 2,
             None => self.global_total > 16 && self.global_dups * 2 > self.global_total,
         }
@@ -83,7 +83,7 @@ impl DupPredictor {
         } else {
             self.stats.incorrect += 1;
         }
-        let counter = self.counters.entry(addr).or_insert(1);
+        let counter = self.counters.get_or_insert_with(addr, || 1);
         if was_duplicate {
             *counter = (*counter + 1).min(3);
         } else {

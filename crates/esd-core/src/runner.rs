@@ -1,10 +1,10 @@
 //! The trace runner: drives a scheme with a trace through the CPU model and
 //! collects a [`RunReport`].
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use esd_collections::U64Map;
 use esd_sim::{CpuModel, LatencyHistogram, SystemConfig};
 use esd_trace::{AccessKind, AppProfile, CacheLine, Trace};
 
@@ -71,10 +71,12 @@ pub fn run_trace(
     let mut cpu = CpuModel::new(config.cpu, config.controller.write_buffer_depth);
     let mut write_latency = LatencyHistogram::new();
     let mut read_latency = LatencyHistogram::new();
-    let mut shadow: HashMap<u64, CacheLine> = if verify {
-        HashMap::with_capacity(trace.len() / 2)
+    // Pre-size from the trace: at most one shadow entry per written address,
+    // so the open-addressed table never rehashes mid-replay.
+    let mut shadow: U64Map<CacheLine> = if verify {
+        U64Map::with_capacity(trace.write_count())
     } else {
-        HashMap::new()
+        U64Map::new()
     };
 
     for (i, access) in trace.iter().enumerate() {
@@ -98,7 +100,7 @@ pub fn run_trace(
                 read_latency.record(result.finish.saturating_sub(now));
                 cpu.complete_read(result.finish);
                 if verify {
-                    if let Some(expected) = shadow.get(&access.addr) {
+                    if let Some(expected) = shadow.get(access.addr) {
                         if *expected != result.data {
                             return Err(VerifyError {
                                 scheme: scheme.kind(),

@@ -7,16 +7,32 @@
 //! generated concurrently with the (slower) NVMM read, hiding decryption
 //! latency, which is why encrypted-NVMM papers charge encryption mainly on
 //! the write path.
+//!
+//! # Keystream pad cache
+//!
+//! The pad for a given `(address, counter)` pair is deterministic, and the
+//! simulator regenerates it constantly: every demand read, and every
+//! verify read-back on ESD's dedup path, decrypts a line whose counter has
+//! not moved since the last write. The engine therefore keeps a small
+//! direct-mapped cache of expanded pads. A counter bump (i.e. a write)
+//! *invalidates* the stale pad by overwriting the line's slot with the new
+//! counter's pad, so a cached pad can never decrypt against the wrong
+//! counter. The cache is a pure memoization: outputs are bit-identical
+//! with and without it (see the `pad_cache_is_transparent` test).
 
-use std::collections::HashMap;
 use std::fmt;
 
+use esd_collections::{fx::hash_u64, U64Map};
 use serde::{Deserialize, Serialize};
 
 use crate::aes::Aes128;
 
 /// Size of a cache line in bytes.
 pub const LINE_BYTES: usize = 64;
+
+/// Default number of expanded keystream pads the engine memoizes
+/// (direct-mapped; ~80 B per slot).
+pub const DEFAULT_PAD_CACHE_LINES: usize = 4096;
 
 /// Latency/energy cost model for counter-mode encryption of one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,6 +73,23 @@ impl fmt::Display for UnknownCounterError {
 
 impl std::error::Error for UnknownCounterError {}
 
+/// One memoized keystream pad. `counter == 0` marks an empty slot: write
+/// counters start at 1, so no live pad ever carries counter zero.
+#[derive(Debug, Clone, Copy)]
+struct PadSlot {
+    addr: u64,
+    counter: u64,
+    pad: [u8; LINE_BYTES],
+}
+
+impl PadSlot {
+    const EMPTY: PadSlot = PadSlot {
+        addr: 0,
+        counter: 0,
+        pad: [0; LINE_BYTES],
+    };
+}
+
 /// Counter-mode encryption engine with a per-line counter store.
 ///
 /// # Examples
@@ -69,11 +102,18 @@ impl std::error::Error for UnknownCounterError {}
 /// let cipher = cme.encrypt_line(0x1000, &plain);
 /// assert_ne!(cipher, plain);
 /// assert_eq!(cme.decrypt_line(0x1000, &cipher).unwrap(), plain);
+/// let (hits, _misses) = cme.pad_cache_stats();
+/// assert_eq!(hits, 1, "the decrypt reused the pad expanded by the write");
 /// ```
 #[derive(Debug, Clone)]
 pub struct CmeEngine {
     cipher: Aes128,
-    counters: HashMap<u64, u64>,
+    counters: U64Map<u64>,
+    /// Direct-mapped pad memoization; empty when disabled.
+    pads: Vec<PadSlot>,
+    pad_mask: usize,
+    pad_hits: u64,
+    pad_misses: u64,
     cost: CmeCostModel,
     lines_encrypted: u64,
     lines_decrypted: u64,
@@ -90,13 +130,40 @@ impl CmeEngine {
     /// Creates an engine with an explicit cost model.
     #[must_use]
     pub fn with_cost_model(key: [u8; 16], cost: CmeCostModel) -> Self {
-        CmeEngine {
+        let mut engine = CmeEngine {
             cipher: Aes128::new(&key),
-            counters: HashMap::new(),
+            counters: U64Map::new(),
+            pads: Vec::new(),
+            pad_mask: 0,
+            pad_hits: 0,
+            pad_misses: 0,
             cost,
             lines_encrypted: 0,
             lines_decrypted: 0,
+        };
+        engine.set_pad_cache_lines(DEFAULT_PAD_CACHE_LINES);
+        engine
+    }
+
+    /// Resizes the keystream pad cache to `lines` slots (rounded up to a
+    /// power of two); `0` disables memoization entirely. Existing pads are
+    /// dropped; ciphertexts are unaffected either way.
+    pub fn set_pad_cache_lines(&mut self, lines: usize) {
+        if lines == 0 {
+            self.pads = Vec::new();
+            self.pad_mask = 0;
+        } else {
+            let lines = lines.next_power_of_two();
+            self.pads = vec![PadSlot::EMPTY; lines];
+            self.pad_mask = lines - 1;
         }
+    }
+
+    /// Keystream pad-cache `(hits, misses)` — hits are decrypts that
+    /// skipped the four AES block encryptions.
+    #[must_use]
+    pub fn pad_cache_stats(&self) -> (u64, u64) {
+        (self.pad_hits, self.pad_misses)
     }
 
     /// The cost model used by this engine.
@@ -120,19 +187,25 @@ impl CmeEngine {
     /// Current write counter for a line, if it was ever encrypted.
     #[must_use]
     pub fn counter(&self, addr: u64) -> Option<u64> {
-        self.counters.get(&addr).copied()
+        self.counters.get(addr).copied()
     }
 
     /// Encrypts a line for the given address, bumping its write counter.
+    ///
+    /// The freshly expanded pad replaces any cached pad for this address —
+    /// the explicit invalidation-on-bump that keeps the cache coherent.
     pub fn encrypt_line(&mut self, addr: u64, plain: &[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
-        let counter = self.counters.entry(addr).or_insert(0);
+        let counter = self.counters.get_or_insert_with(addr, || 0);
         *counter += 1;
         let ctr = *counter;
         self.lines_encrypted += 1;
-        self.xor_pad(addr, ctr, plain)
+        let pad = self.generate_pad(addr, ctr);
+        self.store_pad(addr, ctr, &pad);
+        xor_line(&pad, plain)
     }
 
-    /// Decrypts a line previously produced by [`CmeEngine::encrypt_line`].
+    /// Decrypts a line previously produced by [`CmeEngine::encrypt_line`],
+    /// reusing the memoized pad when the line's counter has not moved.
     ///
     /// # Errors
     ///
@@ -145,32 +218,55 @@ impl CmeEngine {
     ) -> Result<[u8; LINE_BYTES], UnknownCounterError> {
         let ctr = *self
             .counters
-            .get(&addr)
+            .get(addr)
             .ok_or(UnknownCounterError { addr })?;
         self.lines_decrypted += 1;
-        Ok(self.xor_pad(addr, ctr, cipher))
+        if !self.pads.is_empty() {
+            let slot = &self.pads[hash_u64(addr) as usize & self.pad_mask];
+            if slot.counter == ctr && slot.addr == addr {
+                self.pad_hits += 1;
+                return Ok(xor_line(&slot.pad, cipher));
+            }
+            self.pad_misses += 1;
+        }
+        let pad = self.generate_pad(addr, ctr);
+        self.store_pad(addr, ctr, &pad);
+        Ok(xor_line(&pad, cipher))
     }
 
-    fn xor_pad(&self, addr: u64, counter: u64, input: &[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
-        // The four per-block tweaks differ only in byte 15 (the block
-        // index), so build the (address, counter) prefix once.
+    /// Expands the keystream pad for `(addr, counter)`: four AES blocks
+    /// whose tweaks differ only in byte 15 (the block index).
+    fn generate_pad(&self, addr: u64, counter: u64) -> [u8; LINE_BYTES] {
         let mut tweak = [0u8; 16];
         tweak[..8].copy_from_slice(&addr.to_le_bytes());
         tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
-        let mut out = [0u8; LINE_BYTES];
-        for (block, (out16, in16)) in out
-            .chunks_exact_mut(16)
-            .zip(input.chunks_exact(16))
-            .enumerate()
-        {
+        let mut pad = [0u8; LINE_BYTES];
+        for (block, pad16) in pad.chunks_exact_mut(16).enumerate() {
             tweak[15] = block as u8;
-            let pad = self.cipher.encrypt_block(tweak);
-            for ((o, i), p) in out16.iter_mut().zip(in16).zip(pad) {
-                *o = i ^ p;
-            }
+            pad16.copy_from_slice(&self.cipher.encrypt_block(tweak));
         }
-        out
+        pad
     }
+
+    fn store_pad(&mut self, addr: u64, counter: u64, pad: &[u8; LINE_BYTES]) {
+        if !self.pads.is_empty() {
+            self.pads[hash_u64(addr) as usize & self.pad_mask] = PadSlot {
+                addr,
+                counter,
+                pad: *pad,
+            };
+        }
+    }
+}
+
+/// XORs a line with a pad (the only work left on a pad-cache hit).
+#[inline]
+fn xor_line(pad: &[u8; LINE_BYTES], input: &[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
+    let mut out = [0u8; LINE_BYTES];
+    for ((o, i), p) in out.iter_mut().zip(input).zip(pad) {
+        *o = i ^ p;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -223,5 +319,64 @@ mod tests {
         let cost = CmeCostModel::default();
         assert!(cost.encrypt_latency_ns < 321, "CME must undercut SHA-1");
         assert!(cost.decrypt_exposed_latency_ns < cost.encrypt_latency_ns);
+    }
+
+    #[test]
+    fn pad_cache_is_transparent() {
+        // A cached engine and an uncached engine must produce identical
+        // ciphertexts and plaintexts under an arbitrary interleaving of
+        // writes and (repeated) reads.
+        let mut cached = CmeEngine::new([5u8; 16]);
+        let mut uncached = CmeEngine::new([5u8; 16]);
+        uncached.set_pad_cache_lines(0);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for step in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x % 32) * 64; // small space: plenty of counter bumps
+            let plain = [(x >> 8) as u8; LINE_BYTES];
+            if step % 3 == 0 {
+                assert_eq!(
+                    cached.encrypt_line(addr, &plain),
+                    uncached.encrypt_line(addr, &plain),
+                );
+            } else if cached.counter(addr).is_some() {
+                let cipher = [(x >> 16) as u8; LINE_BYTES];
+                assert_eq!(
+                    cached.decrypt_line(addr, &cipher).unwrap(),
+                    uncached.decrypt_line(addr, &cipher).unwrap(),
+                );
+            }
+        }
+        let (hits, _) = cached.pad_cache_stats();
+        assert!(hits > 0, "the workload must actually exercise the cache");
+        assert_eq!(uncached.pad_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn counter_bump_invalidates_stale_pad() {
+        let mut cme = CmeEngine::new([2u8; 16]);
+        let plain_a = [0xAAu8; LINE_BYTES];
+        let plain_b = [0xBBu8; LINE_BYTES];
+        let c1 = cme.encrypt_line(0x40, &plain_a);
+        assert_eq!(cme.decrypt_line(0x40, &c1).unwrap(), plain_a);
+        // The rewrite bumps the counter; the old pad must not be reused.
+        let c2 = cme.encrypt_line(0x40, &plain_b);
+        assert_eq!(cme.decrypt_line(0x40, &c2).unwrap(), plain_b);
+        assert_ne!(cme.decrypt_line(0x40, &c1).unwrap(), plain_a);
+    }
+
+    #[test]
+    fn resizing_the_pad_cache_preserves_behavior() {
+        let mut cme = CmeEngine::new([8u8; 16]);
+        let plain = [0x5Cu8; LINE_BYTES];
+        let cipher = cme.encrypt_line(0x80, &plain);
+        cme.set_pad_cache_lines(16); // drops the memoized pad
+        assert_eq!(cme.decrypt_line(0x80, &cipher).unwrap(), plain);
+        let (_, misses) = cme.pad_cache_stats();
+        assert_eq!(misses, 1, "pad had to be re-expanded after the resize");
+        assert_eq!(cme.decrypt_line(0x80, &cipher).unwrap(), plain);
+        assert_eq!(cme.pad_cache_stats().0, 1, "second decrypt hits");
     }
 }
