@@ -15,8 +15,9 @@
 //! structures (flat LRU vs the map-based cache, open-addressed `U64Map` vs
 //! `std::collections::HashMap`, pad-cached CTR decrypt vs uncached).
 //!
-//! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS` (see the crate
-//! docs), plus `ESD_BENCH_OUT` to redirect the JSON file.
+//! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS`, and the fault
+//! injector's `ESD_RBER` / `ESD_RBER_SEED` / `ESD_SCRUB_EVERY` (see the
+//! crate docs), plus `ESD_BENCH_OUT` to redirect the JSON file.
 
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -232,6 +233,16 @@ fn main() {
         sweep.accesses,
         sweep.seed
     );
+    if sweep.config.pcm.rber_per_tbit > 0 {
+        eprintln!(
+            "bench_report: fault injection ON (rber {} per 10^12 bit-reads, seed {:#x}, {})",
+            sweep.config.pcm.rber_per_tbit,
+            sweep.config.pcm.rber_seed,
+            sweep
+                .scrub_interval
+                .map_or_else(|| "scrub off".to_string(), |n| format!("scrub every {n} accesses"))
+        );
+    }
 
     // Capture the previous report's end-to-end throughput before we
     // overwrite the file, so the new report can record the delta.

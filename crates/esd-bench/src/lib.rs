@@ -20,6 +20,14 @@
 //! Run length and seed can be overridden with the `ESD_ACCESSES` and
 //! `ESD_SEED` environment variables. Unparseable values are reported on
 //! stderr and the default is used.
+//!
+//! # Fault injection
+//!
+//! `ESD_RBER` (expected flipped bits per 10^12 bit-reads) turns on the
+//! seeded fault injector for every run in the sweep; `ESD_RBER_SEED`
+//! re-seeds it and `ESD_SCRUB_EVERY` interleaves a background scrub tick
+//! every N trace accesses. All three default to off, leaving the sweep
+//! bit-identical to a build without the reliability subsystem.
 
 pub mod figures;
 pub mod report_json;
@@ -28,7 +36,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use esd_core::{replay, RunReport, SchemeKind};
+use esd_core::{replay_with, RunOptions, RunReport, SchemeKind};
 use esd_sim::SystemConfig;
 use esd_trace::{generate_trace, AppProfile, Trace};
 
@@ -51,6 +59,9 @@ pub struct Sweep {
     /// Worker-thread cap; `None` means use the machine's available
     /// parallelism. Populated from `ESD_THREADS` by [`Sweep::new`].
     pub threads: Option<usize>,
+    /// Background-scrub cadence in trace accesses (`None` disables
+    /// scrubbing). Populated from `ESD_SCRUB_EVERY` by [`Sweep::new`].
+    pub scrub_interval: Option<u64>,
 }
 
 impl Default for Sweep {
@@ -64,12 +75,29 @@ impl Sweep {
     /// length, seed and thread count.
     #[must_use]
     pub fn new(apps: Vec<AppProfile>) -> Self {
+        let mut config = SystemConfig::default();
+        config.pcm.rber_per_tbit = env_u64("ESD_RBER", config.pcm.rber_per_tbit);
+        config.pcm.rber_seed = env_u64("ESD_RBER_SEED", config.pcm.rber_seed);
         Sweep {
             apps,
             accesses: env_usize("ESD_ACCESSES", DEFAULT_ACCESSES),
             seed: env_u64("ESD_SEED", DEFAULT_SEED),
-            config: SystemConfig::default(),
+            config,
             threads: env_threads(),
+            scrub_interval: match env_u64("ESD_SCRUB_EVERY", 0) {
+                0 => None,
+                n => Some(n),
+            },
+        }
+    }
+
+    /// The per-replay [`RunOptions`] this sweep uses (verification on,
+    /// scrub cadence from [`Sweep::scrub_interval`]).
+    #[must_use]
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions {
+            scrub_interval: self.scrub_interval,
+            ..RunOptions::default()
         }
     }
 
@@ -119,6 +147,7 @@ impl Sweep {
             };
         }
         let workers = self.worker_count(n_tasks);
+        let options = self.run_options();
 
         // One shared slot per workload: the first task that needs a trace
         // generates it; everyone else clones the Arc.
@@ -154,7 +183,7 @@ impl Sweep {
                     }));
                     let kind = schemes[s];
                     let t0 = Instant::now();
-                    let report = replay(kind, &trace, &self.config)
+                    let report = replay_with(kind, &trace, &self.config, &options)
                         .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"));
                     let seconds = t0.elapsed().as_secs_f64();
                     results[task]
@@ -204,6 +233,7 @@ impl Sweep {
     /// Panics if a verified run detects data corruption.
     #[must_use]
     pub fn run_serial(&self, schemes: &[SchemeKind]) -> Vec<AppRow> {
+        let options = self.run_options();
         self.apps
             .iter()
             .map(|app| {
@@ -211,7 +241,7 @@ impl Sweep {
                 let reports = schemes
                     .iter()
                     .map(|&kind| {
-                        replay(kind, &trace, &self.config)
+                        replay_with(kind, &trace, &self.config, &options)
                             .unwrap_or_else(|e| panic!("data corruption in {kind}: {e}"))
                     })
                     .collect();
@@ -306,7 +336,16 @@ fn env_u64(key: &str, default: u64) -> u64 {
 }
 
 /// `ESD_THREADS`: a positive worker-thread cap, or `None` for auto.
+/// An explicit `ESD_THREADS=0` is almost certainly a mistaken attempt to
+/// disable parallelism (that would be `ESD_THREADS=1`), so it warns
+/// instead of being silently treated as auto.
 fn env_threads() -> Option<usize> {
+    if std::env::var("ESD_THREADS").is_ok_and(|raw| raw.parse() == Ok(0usize)) {
+        eprintln!(
+            "warning: ESD_THREADS=0 means auto (machine parallelism), not serial; \
+             use ESD_THREADS=1 to pin a single worker"
+        );
+    }
     match parse_env::<usize>("ESD_THREADS", 0) {
         0 => None,
         n => Some(n),

@@ -96,7 +96,7 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v2"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v3"));
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
     push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
@@ -153,6 +153,7 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
         };
         push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
     }
+    push_reliability(&mut out, sweep, outcome);
     push_speedup_array(&mut out, "kernel_speedups", "kernel", extras.kernels);
     push_speedup_array(&mut out, "structure_speedups", "structure", extras.structures);
     out.push_str("  \"tasks\": [\n");
@@ -186,6 +187,64 @@ pub fn write_bench_json(
     extras: &BenchExtras<'_>,
 ) -> io::Result<()> {
     std::fs::write(path, render_bench_json(sweep, outcome, extras))
+}
+
+/// The `reliability` block: the sweep's fault-injection knobs plus
+/// per-scheme error counters aggregated across all workloads. Knobs are
+/// always emitted (all-zero means injection was off); the per-scheme rows
+/// make "no scheme silently swallowed an uncorrectable error" auditable
+/// from the checked-in report.
+fn push_reliability(out: &mut String, sweep: &Sweep, outcome: &SweepOutcome) {
+    out.push_str("  \"reliability\": {\n");
+    push_kv(out, 2, "rber_per_tbit", &sweep.config.pcm.rber_per_tbit.to_string());
+    push_kv(out, 2, "rber_seed", &sweep.config.pcm.rber_seed.to_string());
+    push_kv(out, 2, "scrub_every", &sweep.scrub_interval.unwrap_or(0).to_string());
+    let schemes: Vec<_> = outcome
+        .rows
+        .first()
+        .map(|row| row.reports.iter().map(|r| r.scheme).collect())
+        .unwrap_or_default();
+    out.push_str("    \"schemes\": [\n");
+    for (i, &kind) in schemes.iter().enumerate() {
+        // Sum each counter over every workload's report for this scheme.
+        let sum = |f: &dyn Fn(&esd_core::RunReport) -> u64| -> u64 {
+            outcome
+                .rows
+                .iter()
+                .filter_map(|row| row.report(kind))
+                .map(f)
+                .sum()
+        };
+        out.push_str("      {");
+        out.push_str(&format!(
+            "\"scheme\": {}, \"bits_flipped\": {}, \"ecc_bits_flipped\": {}, \
+             \"reads_corrected\": {}, \"corrected_words\": {}, \"corrected_ecc_bits\": {}, \
+             \"reads_uncorrectable\": {}, \"miscorrections\": {}, \
+             \"uncorrectable_blast_logicals\": {}, \"efit_fingerprint_drift\": {}, \
+             \"scrub_lines_corrected\": {}, \"scrub_lines_miscorrected\": {}, \
+             \"scrub_lines_uncorrectable\": {}",
+            json_str(kind.name()),
+            sum(&|r| r.reliability.faults.bits_flipped()),
+            sum(&|r| r.reliability.faults.ecc_bits_flipped),
+            sum(&|r| r.stats.reads_corrected),
+            sum(&|r| r.stats.corrected_words),
+            sum(&|r| r.stats.corrected_ecc_bits),
+            sum(&|r| r.stats.reads_uncorrectable),
+            sum(&|r| r.stats.miscorrections),
+            sum(&|r| r.stats.uncorrectable_blast_logicals),
+            sum(&|r| r.stats.efit_fingerprint_drift),
+            sum(&|r| r.reliability.scrub.lines_corrected),
+            sum(&|r| r.reliability.scrub.lines_miscorrected),
+            sum(&|r| r.reliability.scrub.lines_uncorrectable),
+        ));
+        out.push('}');
+        if i + 1 < schemes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
 }
 
 fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[KernelSpeedup]) {
@@ -285,8 +344,12 @@ mod tests {
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v2\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v3\""));
         assert!(json.contains("\"accesses_per_task\": 500"));
+        assert!(json.contains("\"reliability\": {"));
+        assert!(json.contains("\"rber_per_tbit\": 0"));
+        assert!(json.contains("\"reads_uncorrectable\": 0"));
+        assert_eq!(json.matches("\"scrub_lines_corrected\"").count(), 2);
         assert!(json.contains("\"Baseline\""));
         assert!(json.contains("\"ESD\"") || json.contains("\"Esd\""));
         assert!(json.contains("\"serial_threads\": 1"));

@@ -2,14 +2,19 @@
 //! the command line.
 //!
 //! ```text
-//! esd-cli run      --app lbm --scheme esd [--accesses N] [--seed N]
-//! esd-cli compare  --app gcc [--accesses N] [--seed N]
+//! esd-cli run      --app lbm --scheme esd [--accesses N] [--seed N] [reliability flags]
+//! esd-cli compare  --app gcc [--accesses N] [--seed N] [reliability flags]
 //! esd-cli generate --app gcc --out trace.esdt [--format bin|text] [--accesses N]
 //! esd-cli analyze  <trace-file>
-//! esd-cli replay   <trace-file> --scheme esd
+//! esd-cli replay   <trace-file> --scheme esd [reliability flags]
 //! esd-cli apps
 //! esd-cli config
 //! ```
+//!
+//! Reliability flags: `--rber <flips per 10^12 bit-reads>` enables the
+//! seeded fault injector, `--rber-seed <N>` picks its stream, and
+//! `--scrub-every <accesses>` (with `--scrub-lines <N>` per tick) runs the
+//! background scrubber.
 
 mod args;
 
@@ -17,7 +22,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use args::Args;
-use esd_core::{build_scheme, run_trace, RunReport, SchemeKind};
+use esd_core::{build_scheme, run_trace_with, RunOptions, RunReport, SchemeKind};
 use esd_sim::SystemConfig;
 use esd_trace::{
     decode_trace, duplicate_rate, encode_trace, generate_trace, parse_trace_text,
@@ -48,7 +53,9 @@ fn usage() -> &'static str {
      esd-cli replay   <trace-file> --scheme <scheme>\n  \
      esd-cli apps\n  \
      esd-cli config\n\n\
-     schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify"
+     schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify\n\
+     reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
+     \x20                                 [--scrub-every <accesses>] [--scrub-lines N]"
 }
 
 fn dispatch(command: &str, rest: Vec<String>) -> Result<(), String> {
@@ -108,39 +115,73 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     parse_trace_text(name, &text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// Flag names shared by `run`, `compare` and `replay`.
+const RELIABILITY_FLAGS: [&str; 4] = ["rber", "rber-seed", "scrub-every", "scrub-lines"];
+
+/// Applies the reliability flags: `--rber`/`--rber-seed` configure the
+/// fault injector on `config.pcm`, `--scrub-every`/`--scrub-lines` shape
+/// the returned [`RunOptions`]'s background scrubber.
+fn reliability_options(args: &Args, config: &mut SystemConfig) -> Result<RunOptions, String> {
+    config.pcm.rber_per_tbit = args
+        .get_parsed_or("rber", config.pcm.rber_per_tbit)
+        .map_err(|e| e.to_string())?;
+    config.pcm.rber_seed = args
+        .get_parsed_or("rber-seed", config.pcm.rber_seed)
+        .map_err(|e| e.to_string())?;
+    let scrub_every: u64 = args.get_parsed_or("scrub-every", 0).map_err(|e| e.to_string())?;
+    let scrub_lines: usize =
+        args.get_parsed_or("scrub-lines", 1024).map_err(|e| e.to_string())?;
+    if scrub_lines == 0 {
+        return Err("--scrub-lines must be positive".to_owned());
+    }
+    Ok(RunOptions {
+        verify: true,
+        scrub_interval: (scrub_every > 0).then_some(scrub_every),
+        scrub_lines_per_tick: scrub_lines,
+    })
+}
+
 fn run_one(
     kind: SchemeKind,
     trace: &Trace,
     config: &SystemConfig,
+    options: &RunOptions,
 ) -> Result<RunReport, String> {
     let mut scheme = build_scheme(kind, config);
     // The no-verify ablation aliases colliding lines by design.
-    let verify = kind != SchemeKind::EsdNoVerify;
-    run_trace(scheme.as_mut(), trace, config, verify).map_err(|e| e.to_string())
+    let options = RunOptions {
+        verify: options.verify && kind != SchemeKind::EsdNoVerify,
+        ..*options
+    };
+    run_trace_with(scheme.as_mut(), trace, config, &options).map_err(|e| e.to_string())
 }
 
 fn cmd_run(rest: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(rest, &["app", "scheme", "accesses", "seed"])
-        .map_err(|e| e.to_string())?;
+    let allowed: Vec<&str> =
+        [&["app", "scheme", "accesses", "seed"][..], &RELIABILITY_FLAGS[..]].concat();
+    let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let app = app_by_name(args.get_or("app", "demo"))?;
     let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
     let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
     let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
-    let config = SystemConfig::default();
+    let mut config = SystemConfig::default();
+    let options = reliability_options(&args, &mut config)?;
     let trace = generate_trace(&app, seed, accesses);
-    let report = run_one(kind, &trace, &config)?;
+    let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());
     Ok(())
 }
 
 fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(rest, &["app", "accesses", "seed", "extended"])
-        .map_err(|e| e.to_string())?;
+    let allowed: Vec<&str> =
+        [&["app", "accesses", "seed", "extended"][..], &RELIABILITY_FLAGS[..]].concat();
+    let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let app = app_by_name(args.get_or("app", "demo"))?;
     let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
     let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
     let extended: bool = args.get_parsed_or("extended", false).map_err(|e| e.to_string())?;
-    let config = SystemConfig::default();
+    let mut config = SystemConfig::default();
+    let options = reliability_options(&args, &mut config)?;
     let trace = generate_trace(&app, seed, accesses);
 
     let schemes: &[SchemeKind] = if extended {
@@ -154,7 +195,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     );
     let mut baseline: Option<RunReport> = None;
     for &kind in schemes {
-        let report = run_one(kind, &trace, &config)?;
+        let report = run_one(kind, &trace, &config, &options)?;
         println!(
             "{:<13} {:>10} {:>12} {:>12} {:>7.2} {:>12}",
             kind.name(),
@@ -171,7 +212,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     if let Some(base) = baseline {
         println!();
         for &kind in schemes.iter().filter(|&&k| k != SchemeKind::Baseline) {
-            let report = run_one(kind, &trace, &config)?;
+            let report = run_one(kind, &trace, &config, &options)?;
             let n = report.normalized_to(&base);
             println!(
                 "{:<13} write {:>5.2}x  read {:>5.2}x  ipc {:>5.2}x  energy {:>5.2}",
@@ -230,14 +271,16 @@ fn cmd_analyze(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(rest, &["scheme"]).map_err(|e| e.to_string())?;
+    let allowed: Vec<&str> = [&["scheme"][..], &RELIABILITY_FLAGS[..]].concat();
+    let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let path = args
         .required_positional(0, "<trace-file>")
         .map_err(|e| e.to_string())?;
     let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
     let trace = load_trace(path)?;
-    let config = SystemConfig::default();
-    let report = run_one(kind, &trace, &config)?;
+    let mut config = SystemConfig::default();
+    let options = reliability_options(&args, &mut config)?;
+    let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());
     Ok(())
 }

@@ -9,7 +9,8 @@ use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
 use esd_trace::CacheLine;
 
 use crate::scheme::{
-    DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+    decode_stored, DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind,
+    SchemeStats, WriteResult,
 };
 
 /// The no-deduplication baseline.
@@ -76,20 +77,39 @@ impl DedupScheme for Baseline {
         let (completion, stored) = self.nvmm.read_line(now, logical);
         let finish =
             completion.finish + Ps::from_ns(self.cme.cost_model().decrypt_exposed_latency_ns);
-        let data = stored
-            .and_then(|s| {
-                // Correct medium bit errors against the stored ECC first.
-                let corrected =
-                    esd_ecc::decode_line(&s.data, esd_ecc::LineEcc::from_u64(s.ecc)).ok()?;
-                self.stats.compute_energy +=
-                    Energy::from_pj(self.cme.cost_model().crypt_energy_pj);
-                self.cme
-                    .decrypt_line(logical, &corrected.line)
-                    .ok()
-                    .map(CacheLine::new)
-            })
-            .unwrap_or(CacheLine::ZERO);
-        ReadResult { finish, data }
+        let Some(s) = stored else {
+            return ReadResult {
+                finish,
+                data: CacheLine::ZERO,
+                outcome: ReadOutcome::Unmapped,
+            };
+        };
+        // Correct medium bit errors against the stored ECC first; an
+        // uncorrectable line is counted and flagged, never zero-masked.
+        let pristine = self.nvmm.pristine_line(logical).copied();
+        let decoded = decode_stored(&mut self.stats, &s, pristine.as_ref());
+        let data = decoded.cipher.and_then(|cipher| {
+            self.stats.compute_energy += Energy::from_pj(self.cme.cost_model().crypt_energy_pj);
+            self.cme
+                .decrypt_line(logical, &cipher)
+                .ok()
+                .map(CacheLine::new)
+        });
+        let outcome = if data.is_none() && decoded.outcome.is_data_valid() {
+            self.stats.reads_uncorrectable += 1;
+            ReadOutcome::Uncorrectable
+        } else {
+            decoded.outcome
+        };
+        if !outcome.is_data_valid() {
+            // No deduplication: exactly one logical line is lost.
+            self.stats.uncorrectable_blast_logicals += 1;
+        }
+        ReadResult {
+            finish,
+            data: data.unwrap_or(CacheLine::ZERO),
+            outcome,
+        }
     }
 
     fn stats(&self) -> SchemeStats {
@@ -147,6 +167,21 @@ mod tests {
         let mut s = scheme();
         let r = s.read(Ps::ZERO, 0x1000);
         assert!(r.data.is_zero());
+        assert_eq!(r.outcome, ReadOutcome::Unmapped);
+    }
+
+    #[test]
+    fn uncorrectable_read_is_flagged_not_zero_masked() {
+        let mut s = scheme();
+        let line = CacheLine::from_fill(0x42);
+        s.write(Ps::ZERO, 0x40, line);
+        s.nvmm_mut().medium_mut().inject_bit_flip(0x40, 5, 0);
+        s.nvmm_mut().medium_mut().inject_bit_flip(0x40, 5, 1);
+        let r = s.read(Ps::from_us(1), 0x40);
+        assert_eq!(r.outcome, ReadOutcome::Uncorrectable);
+        assert!(r.data.is_zero());
+        assert_eq!(s.stats().reads_uncorrectable, 1);
+        assert_eq!(s.stats().uncorrectable_blast_logicals, 1);
     }
 
     #[test]

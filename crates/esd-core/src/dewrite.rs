@@ -109,12 +109,13 @@ impl DedupScheme for DeWrite {
         if let Some(physical) = lookup.physical {
             // CRC match: verify with a read-back byte comparison.
             let before = t;
-            let (finish, stored_plain) = core.read_physical(t, physical);
+            let (finish, verify) = core.read_physical(t, physical);
             t = finish + core.compare_latency;
             core.breakdown.compare_read += t.saturating_sub(before);
             core.stats.compare_reads += 1;
 
-            if stored_plain.as_ref() == Some(&line) {
+            // An unreadable candidate can never verify as a duplicate.
+            if verify.outcome.is_data_valid() && verify.plain.as_ref() == Some(&line) {
                 // True duplicate.
                 core.stats.compare_hits += 1;
                 core.stats.writes_deduplicated += 1;

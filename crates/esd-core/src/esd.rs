@@ -181,12 +181,21 @@ impl DedupScheme for Esd {
                 // Similar line: verify via read-back (PCM reads are cheap
                 // relative to writes — the asymmetry ESD exploits).
                 let before = t;
-                let (finish, stored_plain) = self.core.read_physical(t, entry.physical);
+                let (finish, verify) = self.core.read_physical(t, entry.physical);
                 let t = finish + self.core.compare_latency;
                 self.core.breakdown.compare_read += t.saturating_sub(before);
                 self.core.stats.compare_reads += 1;
+                if verify.ecc_bit_corrections > 0 {
+                    // The stored ECC bits of an EFIT candidate drifted: the
+                    // fingerprint material itself no longer matches what the
+                    // EFIT indexed.
+                    self.core.stats.efit_fingerprint_drift += 1;
+                }
 
-                let is_dup = stored_plain.as_ref() == Some(&line);
+                // An unreadable or untrustworthy candidate is treated as
+                // not-a-duplicate (the write proceeds as unique).
+                let is_dup = verify.outcome.is_data_valid()
+                    && verify.plain.as_ref() == Some(&line);
                 if !is_dup {
                     // ECC collision: contents differ.
                     return self.write_as_unique(now, t, logical, &line, fp);

@@ -58,6 +58,7 @@ mod predictor;
 mod report;
 mod runner;
 mod scheme;
+mod scrub;
 mod variants;
 
 pub use alloc::PhysicalAllocator;
@@ -70,11 +71,16 @@ pub use efit::{Efit, EfitEntry, EfitPolicy, EFIT_ENTRY_BYTES, REFER_MAX};
 pub use esd::Esd;
 pub use fpstore::{FingerprintStore, FpLookup, LookupSource};
 pub use predictor::{DupPredictor, PredictorStats};
-pub use report::{Normalized, RunReport};
-pub use runner::{build_scheme, replay, run_app, run_trace, VerifyError};
-pub use scheme::{
-    DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+pub use report::{Normalized, ReliabilityReport, RunReport};
+pub use runner::{
+    build_scheme, replay, replay_with, run_app, run_trace, run_trace_with, RunOptions,
+    VerifyError,
 };
+pub use scheme::{
+    DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind, SchemeStats,
+    WriteResult,
+};
+pub use scrub::{ScrubStats, Scrubber};
 pub use variants::{EsdFull, EsdNoVerify, HashDedup, MD5_ENTRY_BYTES};
 
 #[cfg(test)]

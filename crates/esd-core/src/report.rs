@@ -1,8 +1,22 @@
 //! Run reports: everything the paper's figures are computed from.
 
-use esd_sim::{CacheStats, Energy, LatencyHistogram, PcmStats, Ps, WriteLatencyBreakdown};
+use esd_sim::{
+    CacheStats, Energy, FaultStats, LatencyHistogram, PcmStats, Ps, WriteLatencyBreakdown,
+};
 
 use crate::scheme::{MetadataFootprint, SchemeKind, SchemeStats};
+use crate::scrub::ScrubStats;
+
+/// Reliability-subsystem accounting for one run: what the fault injector
+/// did to the medium and what the background scrubber repaired. All-zero
+/// when fault injection and scrubbing are off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityReport {
+    /// Fault-injector counters (bits flipped into the medium).
+    pub faults: FaultStats,
+    /// Background-scrub counters.
+    pub scrub: ScrubStats,
+}
 
 /// The complete result of replaying one trace through one scheme.
 ///
@@ -35,6 +49,8 @@ pub struct RunReport {
     pub metadata: MetadataFootprint,
     /// Peak per-line write count (endurance hot spot).
     pub max_wear: u64,
+    /// Fault-injection and scrub accounting (all-zero when disabled).
+    pub reliability: ReliabilityReport,
 }
 
 impl RunReport {
@@ -109,6 +125,32 @@ impl RunReport {
             self.metadata.nvmm_bytes,
             self.metadata.sram_bytes
         );
+        if self.reliability.faults.bits_flipped() > 0 || self.stats.reads_uncorrectable > 0 {
+            let _ = writeln!(
+                out,
+                "  reliability: {} bits flipped ({} in stored ECC), {} reads corrected, \
+                 {} uncorrectable ({} logical lines lost), {} miscorrections, {} fp drift",
+                self.reliability.faults.bits_flipped(),
+                self.reliability.faults.ecc_bits_flipped,
+                self.stats.reads_corrected,
+                self.stats.reads_uncorrectable,
+                self.stats.uncorrectable_blast_logicals,
+                self.stats.miscorrections,
+                self.stats.efit_fingerprint_drift
+            );
+        }
+        if self.reliability.scrub.lines_scanned > 0 {
+            let _ = writeln!(
+                out,
+                "  scrub: {} ticks, {} lines scanned, {} corrected ({} miscorrective), \
+                 {} uncorrectable",
+                self.reliability.scrub.ticks,
+                self.reliability.scrub.lines_scanned,
+                self.reliability.scrub.lines_corrected,
+                self.reliability.scrub.lines_miscorrected,
+                self.reliability.scrub.lines_uncorrectable
+            );
+        }
         out
     }
 }
@@ -187,6 +229,7 @@ mod tests {
             amt_cache: None,
             metadata: MetadataFootprint::default(),
             max_wear: 1,
+            reliability: ReliabilityReport::default(),
         }
     }
 

@@ -12,8 +12,9 @@ use crate::baseline::Baseline;
 use crate::dedup_sha1::DedupSha1;
 use crate::dewrite::DeWrite;
 use crate::esd::Esd;
-use crate::report::RunReport;
+use crate::report::{ReliabilityReport, RunReport};
 use crate::scheme::{DedupScheme, SchemeKind};
+use crate::scrub::Scrubber;
 use crate::variants::{EsdFull, EsdNoVerify, HashDedup};
 
 /// Constructs a scheme of the given kind over a fresh simulated system.
@@ -55,6 +56,31 @@ impl fmt::Display for VerifyError {
 
 impl Error for VerifyError {}
 
+/// Knobs for one trace replay beyond the scheme and trace themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Verify every read against a shadow copy (the paper's "no data loss"
+    /// guarantee, §III-E). Reads the scheme itself flags as uncorrectable
+    /// or miscorrected are exempt — they are *reported* data loss, not a
+    /// scheme bug.
+    pub verify: bool,
+    /// Run a background scrub tick every this many trace accesses
+    /// (`None` disables scrubbing).
+    pub scrub_interval: Option<u64>,
+    /// Stored lines each scrub tick visits.
+    pub scrub_lines_per_tick: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            verify: true,
+            scrub_interval: None,
+            scrub_lines_per_tick: 1024,
+        }
+    }
+}
+
 /// Replays `trace` through `scheme`, optionally verifying every read
 /// against a shadow copy (the paper's "no data loss" guarantee, §III-E).
 ///
@@ -68,6 +94,34 @@ pub fn run_trace(
     config: &SystemConfig,
     verify: bool,
 ) -> Result<RunReport, VerifyError> {
+    run_trace_with(
+        scheme,
+        trace,
+        config,
+        &RunOptions {
+            verify,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// [`run_trace`] with the full set of [`RunOptions`]: shadow verification
+/// plus an optional interleaved background scrubber, whose PCM traffic and
+/// repairs land in the report's `reliability` block.
+///
+/// # Errors
+///
+/// With `options.verify` set, returns [`VerifyError`] if any read the
+/// scheme presents as valid differs from the most recent write to that
+/// logical address. Reads flagged uncorrectable or miscorrected are
+/// surfaced through [`crate::SchemeStats`], not as errors.
+pub fn run_trace_with(
+    scheme: &mut dyn DedupScheme,
+    trace: &Trace,
+    config: &SystemConfig,
+    options: &RunOptions,
+) -> Result<RunReport, VerifyError> {
+    let verify = options.verify;
     let mut cpu = CpuModel::new(config.cpu, config.controller.write_buffer_depth);
     let mut write_latency = LatencyHistogram::new();
     let mut read_latency = LatencyHistogram::new();
@@ -78,10 +132,21 @@ pub fn run_trace(
     } else {
         U64Map::new()
     };
+    let mut scrubber = options
+        .scrub_interval
+        .map(|_| Scrubber::new(options.scrub_lines_per_tick));
 
     for (i, access) in trace.iter().enumerate() {
         cpu.execute(u64::from(access.instruction_gap));
         let now = cpu.now();
+        if let (Some(scrubber), Some(interval)) = (scrubber.as_mut(), options.scrub_interval) {
+            if (i as u64).is_multiple_of(interval.max(1)) && i > 0 {
+                // The scrub runs in the background: it occupies device
+                // banks (delaying demand traffic through the PCM model)
+                // but does not block the core directly.
+                scrubber.tick(scheme.nvmm_mut(), now);
+            }
+        }
         match access.kind {
             AccessKind::Write => {
                 let line = access.data.expect("write carries data");
@@ -99,7 +164,11 @@ pub fn run_trace(
                 let result = scheme.read(now, access.addr);
                 read_latency.record(result.finish.saturating_sub(now));
                 cpu.complete_read(result.finish);
-                if verify {
+                // Reads the scheme flags as uncorrectable or miscorrected
+                // are reported data loss (counted in SchemeStats with their
+                // blast radius), not a silent-corruption bug — only reads
+                // presented as valid must match the shadow copy.
+                if verify && result.outcome.is_data_valid() {
                     if let Some(expected) = shadow.get(access.addr) {
                         if *expected != result.data {
                             return Err(VerifyError {
@@ -127,6 +196,10 @@ pub fn run_trace(
         amt_cache: scheme.amt_cache_stats(),
         metadata: scheme.metadata_footprint(),
         max_wear: scheme.nvmm().medium().max_wear(),
+        reliability: ReliabilityReport {
+            faults: scheme.nvmm().medium().fault_stats(),
+            scrub: scrubber.map(|s| s.stats()).unwrap_or_default(),
+        },
     })
 }
 
@@ -143,8 +216,22 @@ pub fn replay(
     trace: &Trace,
     config: &SystemConfig,
 ) -> Result<RunReport, VerifyError> {
+    replay_with(kind, trace, config, &RunOptions::default())
+}
+
+/// [`replay`] with explicit [`RunOptions`] (scrub interval, verification).
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] from [`run_trace_with`].
+pub fn replay_with(
+    kind: SchemeKind,
+    trace: &Trace,
+    config: &SystemConfig,
+    options: &RunOptions,
+) -> Result<RunReport, VerifyError> {
     let mut scheme = build_scheme(kind, config);
-    run_trace(scheme.as_mut(), trace, config, true)
+    run_trace_with(scheme.as_mut(), trace, config, options)
 }
 
 /// Convenience: generate a workload's trace and replay it through one

@@ -95,13 +95,49 @@ pub struct WriteResult {
     pub deduplicated: bool,
 }
 
+/// Integrity classification of one completed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The address was never written; the architectural zero line is
+    /// returned.
+    Unmapped,
+    /// The stored line decoded cleanly.
+    Clean,
+    /// One or more single-bit errors were corrected on the fly.
+    Corrected {
+        /// Number of 8-byte words that had a bit corrected.
+        words: u8,
+    },
+    /// The stored line has an uncorrectable (multi-bit-per-word) error.
+    /// The returned data is a zero line and must NOT be interpreted as
+    /// content; schemes count the event and its dedup blast radius.
+    Uncorrectable,
+    /// ECC decode claimed success but the fault injector's pristine shadow
+    /// shows the content is wrong — a SEC-DED miscorrection (three or more
+    /// flips aliasing onto a correctable syndrome). Real hardware would
+    /// silently consume this data; the returned line carries it, flagged.
+    Miscorrected,
+}
+
+impl ReadOutcome {
+    /// Whether the returned data is trustworthy line content.
+    #[must_use]
+    pub fn is_data_valid(self) -> bool {
+        !matches!(self, ReadOutcome::Uncorrectable | ReadOutcome::Miscorrected)
+    }
+}
+
 /// Outcome of one read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadResult {
     /// When decrypted data was available to the core.
     pub finish: Ps,
-    /// The plaintext line (all-zero for never-written addresses).
+    /// The plaintext line: all-zero for never-written addresses, and also
+    /// all-zero — flagged by `outcome` — when the stored line was
+    /// uncorrectable. Check `outcome` before trusting the bytes.
     pub data: CacheLine,
+    /// Integrity of the returned data.
+    pub outcome: ReadOutcome,
 }
 
 /// Scheme-level counters (device-level counters live in
@@ -128,6 +164,29 @@ pub struct SchemeStats {
     pub mispredictions: u64,
     /// Reads served.
     pub reads_served: u64,
+    /// Reads (demand and verify) whose ECC decode corrected at least one
+    /// bit.
+    pub reads_corrected: u64,
+    /// Total corrected 8-byte words across all reads.
+    pub corrected_words: u64,
+    /// Corrected words by word position within the 64-byte line.
+    pub corrected_by_word: [u64; 8],
+    /// Corrections that repaired a stored check / overall-parity bit — the
+    /// ECC (i.e. fingerprint) material itself had drifted.
+    pub corrected_ecc_bits: u64,
+    /// Reads that hit an uncorrectable (multi-bit-per-word) error.
+    pub reads_uncorrectable: u64,
+    /// ECC decodes that claimed success but returned wrong content (SEC-DED
+    /// miscorrection, detected against the fault injector's ground truth).
+    pub miscorrections: u64,
+    /// Logical lines affected by invalid demand reads: each event adds the
+    /// failing physical line's reference count — the dedup blast radius,
+    /// amplified by sharing (includes fingerprint-index pins).
+    pub uncorrectable_blast_logicals: u64,
+    /// Verify reads of a fingerprint-matched candidate that observed
+    /// drifted stored-ECC bits — EFIT fingerprint-drift events (ESD
+    /// variants only).
+    pub efit_fingerprint_drift: u64,
     /// Energy spent on fingerprints and cryptography (device energy is in
     /// the PCM statistics).
     pub compute_energy: Energy,
@@ -299,10 +358,11 @@ impl Core {
         (processing_done, completion.finish, physical)
     }
 
-    /// Reads, ECC-corrects and decrypts the line at a *physical* address;
-    /// the decrypted plaintext is `None` when nothing was ever stored there
-    /// or the stored line has an uncorrectable (multi-bit-per-word) error.
-    pub fn read_physical(&mut self, t: Ps, physical: u64) -> (Ps, Option<CacheLine>) {
+    /// Reads, ECC-corrects and decrypts the line at a *physical* address.
+    /// The returned [`PhysicalRead`] distinguishes never-written addresses,
+    /// clean and corrected decodes, uncorrectable errors and detected
+    /// miscorrections — nothing is silently masked.
+    pub fn read_physical(&mut self, t: Ps, physical: u64) -> (Ps, PhysicalRead) {
         let (completion, stored) = self.nvmm.read_line(t, physical);
         // The counter fetch proceeds in parallel with the data read.
         let counter_ready = match self.counters.as_mut() {
@@ -311,36 +371,148 @@ impl Core {
         };
         let finish = completion.finish.max(counter_ready)
             + Ps::from_ns(self.cme.cost_model().decrypt_exposed_latency_ns);
-        let plain = stored.and_then(|s| {
-            // The stored ECC protects the ciphertext; correct any medium
-            // bit errors before decrypting.
-            let corrected =
-                esd_ecc::decode_line(&s.data, esd_ecc::LineEcc::from_u64(s.ecc)).ok()?;
-            self.charge_crypt_energy();
-            self.cme
-                .decrypt_line(physical, &corrected.line)
-                .ok()
-                .map(CacheLine::new)
-        });
-        (finish, plain)
+        let read = match stored {
+            Some(s) => {
+                let pristine = self.nvmm.pristine_line(physical).copied();
+                let decoded = decode_stored(&mut self.stats, &s, pristine.as_ref());
+                let plain = decoded.cipher.and_then(|cipher| {
+                    self.charge_crypt_energy();
+                    self.cme
+                        .decrypt_line(physical, &cipher)
+                        .ok()
+                        .map(CacheLine::new)
+                });
+                // A missing decrypt counter (cannot normally happen for a
+                // stored line) must not surface as a valid zero read.
+                let outcome = if plain.is_none() && decoded.outcome.is_data_valid() {
+                    self.stats.reads_uncorrectable += 1;
+                    ReadOutcome::Uncorrectable
+                } else {
+                    decoded.outcome
+                };
+                PhysicalRead {
+                    plain,
+                    outcome,
+                    ecc_bit_corrections: decoded.ecc_bit_corrections,
+                }
+            }
+            None => PhysicalRead {
+                plain: None,
+                outcome: ReadOutcome::Unmapped,
+                ecc_bit_corrections: 0,
+            },
+        };
+        (finish, read)
     }
 
     /// The full mapped read path: translate via the AMT, read, decrypt.
+    /// Invalid reads (uncorrectable or miscorrected) are counted together
+    /// with their dedup blast radius and flagged in the result's `outcome`;
+    /// the data of an uncorrectable read is a zero line, never fabricated
+    /// content presented as valid.
     pub fn read_logical(&mut self, now: Ps, logical: u64) -> ReadResult {
         self.stats.reads_served += 1;
         let (mapped, t) = self.amt.translate(now, logical, &mut self.nvmm);
         match mapped {
             Some(physical) => {
-                let (finish, plain) = self.read_physical(t, physical);
+                let (finish, read) = self.read_physical(t, physical);
+                if !read.outcome.is_data_valid() {
+                    // Dedup blast radius: every logical line mapped onto
+                    // this physical line — its reference count, including
+                    // fingerprint-index pins — is affected by the loss.
+                    self.stats.uncorrectable_blast_logicals +=
+                        u64::from(self.alloc.refcount(physical)).max(1);
+                }
                 ReadResult {
                     finish,
-                    data: plain.unwrap_or(CacheLine::ZERO),
+                    data: read.plain.unwrap_or(CacheLine::ZERO),
+                    outcome: read.outcome,
                 }
             }
             None => ReadResult {
                 finish: t,
                 data: CacheLine::ZERO,
+                outcome: ReadOutcome::Unmapped,
             },
+        }
+    }
+}
+
+/// What [`Core::read_physical`] hands back to the schemes: the decrypted
+/// plaintext when one exists, the read's integrity classification, and how
+/// many of its corrections repaired stored-ECC (fingerprint) bits.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PhysicalRead {
+    /// Decrypted plaintext; `None` for unmapped addresses and uncorrectable
+    /// lines. Present for miscorrections — hardware returns the wrong
+    /// bytes — so always gate use on `outcome.is_data_valid()`.
+    pub plain: Option<CacheLine>,
+    /// Integrity classification of the read.
+    pub outcome: ReadOutcome,
+    /// Words whose *stored ECC* bits (check/parity) were repaired.
+    pub ecc_bit_corrections: u8,
+}
+
+/// Decodes one stored line against its ECC and the fault injector's ground
+/// truth, updating the reliability counters. Shared by [`Core`] and the
+/// non-deduplicating `Baseline` so the accounting cannot drift apart.
+pub(crate) struct DecodedStore {
+    /// The corrected ciphertext when decode produced bytes (including
+    /// miscorrections); `None` when uncorrectable.
+    pub cipher: Option<[u8; esd_sim::LINE_BYTES]>,
+    /// Integrity classification (never `Unmapped` — a line was stored).
+    pub outcome: ReadOutcome,
+    /// Words whose stored-ECC bits were repaired.
+    pub ecc_bit_corrections: u8,
+}
+
+pub(crate) fn decode_stored(
+    stats: &mut SchemeStats,
+    stored: &esd_sim::StoredLine,
+    pristine: Option<&esd_sim::StoredLine>,
+) -> DecodedStore {
+    match esd_ecc::decode_line(&stored.data, esd_ecc::LineEcc::from_u64(stored.ecc)) {
+        Ok(decoded) => {
+            let mut ecc_bit_corrections = 0u8;
+            if decoded.corrected_words > 0 {
+                stats.reads_corrected += 1;
+                stats.corrected_words += decoded.corrected_words as u64;
+                for (w, c) in decoded.corrected.iter().enumerate() {
+                    if c.is_some() {
+                        stats.corrected_by_word[w] += 1;
+                    }
+                }
+                ecc_bit_corrections = decoded.corrected_ecc_bits() as u8;
+                stats.corrected_ecc_bits += u64::from(ecc_bit_corrections);
+            }
+            // A decode that "succeeds" with wrong bytes is a SEC-DED
+            // miscorrection (three or more flips aliased onto a clean or
+            // correctable syndrome) — only detectable against the fault
+            // injector's pristine shadow.
+            let miscorrected = pristine.is_some_and(|p| decoded.line != p.data);
+            let outcome = if miscorrected {
+                stats.miscorrections += 1;
+                ReadOutcome::Miscorrected
+            } else if decoded.corrected_words > 0 {
+                ReadOutcome::Corrected {
+                    words: decoded.corrected_words as u8,
+                }
+            } else {
+                ReadOutcome::Clean
+            };
+            DecodedStore {
+                cipher: Some(decoded.line),
+                outcome,
+                ecc_bit_corrections,
+            }
+        }
+        Err(_) => {
+            stats.reads_uncorrectable += 1;
+            DecodedStore {
+                cipher: None,
+                outcome: ReadOutcome::Uncorrectable,
+                ecc_bit_corrections: 0,
+            }
         }
     }
 }
@@ -419,5 +591,46 @@ mod tests {
         let mut core = Core::new(&config, [1u8; 16]);
         let r = core.read_logical(Ps::ZERO, 0xFFFF_0040);
         assert!(r.data.is_zero());
+        assert_eq!(r.outcome, ReadOutcome::Unmapped);
+        assert_eq!(core.stats.reads_uncorrectable, 0);
+    }
+
+    #[test]
+    fn corrected_read_counts_word_position_and_stays_valid() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let line = CacheLine::from_fill(0x77);
+        let (_, finish, phys) =
+            core.write_unique(Ps::ZERO, 0x40, &line, false, &mut |_| {});
+        core.nvmm.medium_mut().inject_bit_flip(phys, 26, 1); // word 3
+        let r = core.read_logical(finish, 0x40);
+        assert_eq!(r.outcome, ReadOutcome::Corrected { words: 1 });
+        assert_eq!(r.data, line, "single flips must round-trip");
+        assert_eq!(core.stats.reads_corrected, 1);
+        assert_eq!(core.stats.corrected_words, 1);
+        assert_eq!(core.stats.corrected_by_word[3], 1);
+        assert_eq!(core.stats.corrected_ecc_bits, 0);
+    }
+
+    #[test]
+    fn uncorrectable_read_is_flagged_and_counts_blast_radius() {
+        let config = SystemConfig::default();
+        let mut core = Core::new(&config, [1u8; 16]);
+        let line = CacheLine::from_fill(0x3C);
+        let (_, finish, phys) =
+            core.write_unique(Ps::ZERO, 0x40, &line, false, &mut |_| {});
+        // Share the physical line with a second logical address.
+        core.remap_to(finish, 0x80, phys, &mut |_| {});
+        core.nvmm.medium_mut().inject_bit_flip(phys, 0, 0);
+        core.nvmm.medium_mut().inject_bit_flip(phys, 0, 1);
+        let r = core.read_logical(finish, 0x40);
+        assert_eq!(r.outcome, ReadOutcome::Uncorrectable);
+        assert!(r.data.is_zero(), "no fabricated content");
+        assert!(!r.outcome.is_data_valid());
+        assert_eq!(core.stats.reads_uncorrectable, 1);
+        assert_eq!(
+            core.stats.uncorrectable_blast_logicals, 2,
+            "both sharers of the physical line are lost"
+        );
     }
 }

@@ -246,11 +246,16 @@ impl DedupScheme for EsdFull {
         if let Some(physical) = lookup.physical {
             // Verify read, as in real ESD (ECC equality is only similarity).
             let before = t;
-            let (finish, stored_plain) = core.read_physical(t, physical);
+            let (finish, verify) = core.read_physical(t, physical);
             t = finish + core.compare_latency;
             core.breakdown.compare_read += t.saturating_sub(before);
             core.stats.compare_reads += 1;
-            if stored_plain.as_ref() == Some(&line) {
+            if verify.ecc_bit_corrections > 0 {
+                // Same accounting as ESD proper: the candidate's stored
+                // fingerprint (ECC) material drifted.
+                core.stats.efit_fingerprint_drift += 1;
+            }
+            if verify.outcome.is_data_valid() && verify.plain.as_ref() == Some(&line) {
                 core.stats.compare_hits += 1;
                 core.stats.writes_deduplicated += 1;
                 match lookup.source {

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::hamming::{decode_word, DecodeWordError, ENC_TABLE};
+use crate::hamming::{decode_word, CorrectedBit, DecodeWordError, ENC_TABLE};
 
 /// Size of a cache line in bytes, matching the 64 B line the CPU core evicts.
 pub const LINE_BYTES: usize = 64;
@@ -154,6 +154,27 @@ pub struct LineDecode {
     pub line: [u8; LINE_BYTES],
     /// Number of words in which a single-bit error was corrected.
     pub corrected_words: usize,
+    /// Per-word correction detail: which bit (data, check, or overall
+    /// parity) was repaired in each 8-byte word, `None` for clean words.
+    pub corrected: [Option<CorrectedBit>; WORDS_PER_LINE],
+}
+
+impl LineDecode {
+    /// Corrections that repaired a *stored ECC* bit (a check bit or the
+    /// overall parity) rather than a data bit — i.e. the fingerprint
+    /// material itself had drifted.
+    #[must_use]
+    pub fn corrected_ecc_bits(&self) -> usize {
+        self.corrected
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    Some(CorrectedBit::Check(_)) | Some(CorrectedBit::OverallParity)
+                )
+            })
+            .count()
+    }
 }
 
 /// Error returned by [`decode_line`] when some word is uncorrectable.
@@ -196,6 +217,7 @@ pub fn decode_line(
     // full SEC-DED correction logic.
     let mut out = *line;
     let mut corrected_words = 0usize;
+    let mut corrected = [None; WORDS_PER_LINE];
     for (w, chunk) in line.chunks_exact(8).enumerate() {
         let expected = ENC_TABLE[0][chunk[0] as usize]
             ^ ENC_TABLE[1][chunk[1] as usize]
@@ -215,11 +237,13 @@ pub fn decode_line(
         // error (data, check or parity bit).
         debug_assert!(decoded.corrected.is_some());
         corrected_words += 1;
+        corrected[w] = decoded.corrected;
         out[w * 8..w * 8 + 8].copy_from_slice(&decoded.data.to_le_bytes());
     }
     Ok(LineDecode {
         line: out,
         corrected_words,
+        corrected,
     })
 }
 
@@ -273,6 +297,32 @@ mod tests {
             let decoded = decode_line(&stored, ecc).unwrap();
             assert_eq!(decoded.line, line);
             assert_eq!(decoded.corrected_words, 1);
+            let word = byte / 8;
+            assert!(
+                matches!(decoded.corrected[word], Some(CorrectedBit::Data(_))),
+                "byte {byte}: expected a data-bit correction in word {word}"
+            );
+            assert_eq!(decoded.corrected_ecc_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn stored_ecc_bit_flip_is_corrected_and_attributed() {
+        let line = line_of(|i| (i * 13) as u8);
+        let good = encode_line(&line);
+        for word in 0..WORDS_PER_LINE {
+            for bit in 0..8u8 {
+                let mut codes = *good.words();
+                codes[word] ^= 1 << bit;
+                let decoded = decode_line(&line, LineEcc::new(codes)).unwrap();
+                assert_eq!(decoded.line, line, "data must come back untouched");
+                assert_eq!(decoded.corrected_words, 1);
+                assert_eq!(
+                    decoded.corrected_ecc_bits(),
+                    1,
+                    "word {word} bit {bit}: a stored-ECC flip must be attributed to the ECC"
+                );
+            }
         }
     }
 

@@ -42,6 +42,15 @@ pub struct PcmConfig {
     pub write_energy: Energy,
     /// Energy for a row-buffer-hit read.
     pub row_hit_energy: Energy,
+    /// Raw bit-error rate of the array, expressed as expected flipped bits
+    /// per 10^12 bit-reads (`0` disables fault injection entirely). Each
+    /// data-line read Bernoulli-samples every stored bit — 512 data bits
+    /// plus the 64-bit packed ECC — and flips persist in the medium until
+    /// the line is rewritten (read-disturb / drift accumulation).
+    pub rber_per_tbit: u64,
+    /// Seed of the deterministic fault-injection RNG; reruns with the same
+    /// seed, config and trace reproduce the exact same flips.
+    pub rber_seed: u64,
 }
 
 impl Default for PcmConfig {
@@ -56,6 +65,8 @@ impl Default for PcmConfig {
             read_energy: Energy::from_nj_milli(1490),
             write_energy: Energy::from_nj_milli(6750),
             row_hit_energy: Energy::from_nj_milli(370),
+            rber_per_tbit: 0,
+            rber_seed: 0xE5D,
         }
     }
 }
@@ -238,6 +249,7 @@ mod tests {
         assert_eq!(c.pcm.write_energy.as_pj(), 6750);
         assert_eq!(c.controller.fingerprint_cache_bytes, 512 << 10);
         assert_eq!(c.controller.mapping_cache_bytes, 512 << 10);
+        assert_eq!(c.pcm.rber_per_tbit, 0, "fault injection is off by default");
     }
 
     #[test]

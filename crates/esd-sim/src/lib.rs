@@ -44,7 +44,7 @@ pub use config::{
 };
 pub use cpu::{CpuModel, CpuStats};
 pub use energy::Energy;
-pub use medium::{Medium, StoredLine};
+pub use medium::{FaultStats, Medium, StoredLine};
 pub use pcm::{AccessClass, Completion, PcmCounters, PcmDevice, PcmOp, PcmStats};
 pub use sram::{CacheStats, LruCache};
 

@@ -5,10 +5,27 @@
 //! perform genuine byte-by-byte comparisons — so fingerprint collisions
 //! resolve the way they would in hardware — and lets tests inject bit errors
 //! that the ECC path must correct.
+//!
+//! # Fault injection
+//!
+//! Beyond the targeted [`Medium::inject_bit_flip`] hook, the medium can run
+//! a seeded raw-bit-error-rate (RBER) model: every read of a stored line
+//! Bernoulli-samples each of its 576 stored bits (512 data + 64 packed ECC)
+//! and flips the losers *persistently*, so errors accumulate across reads
+//! until a rewrite (or a scrub) restores the line. The sampler is a
+//! SplitMix64 stream compared against a fixed-point threshold — no floating
+//! point, so runs reproduce bit-exactly on any platform. While injection is
+//! enabled the medium also keeps a pristine shadow of each corrupted line
+//! (ground truth as of its last store), which lets callers detect SEC-DED
+//! *miscorrections*: decodes that claim success but return wrong content.
 
 use std::collections::HashMap;
 
 use crate::config::LINE_BYTES;
+
+/// Stored bits per line that the fault model samples: 512 data bits plus
+/// the 64-bit packed ECC word.
+const STORED_BITS: usize = LINE_BYTES * 8 + 64;
 
 /// One stored line: content plus its stored per-line ECC (as a packed u64).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +34,51 @@ pub struct StoredLine {
     pub data: [u8; LINE_BYTES],
     /// The packed per-line ECC stored alongside the data.
     pub ecc: u64,
+}
+
+/// Counters kept by the RBER fault injector (all zero when injection is
+/// disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads of stored lines that went through the Bernoulli sampler.
+    pub reads_sampled: u64,
+    /// Data bits flipped by the injector.
+    pub data_bits_flipped: u64,
+    /// Stored-ECC bits flipped by the injector (check-bit / parity drift).
+    pub ecc_bits_flipped: u64,
+}
+
+impl FaultStats {
+    /// Total bits the injector has flipped.
+    #[must_use]
+    pub fn bits_flipped(&self) -> u64 {
+        self.data_bits_flipped + self.ecc_bits_flipped
+    }
+}
+
+/// State of the seeded RBER injector; allocated only while enabled so the
+/// default (fault-free) configuration pays nothing.
+#[derive(Debug, Clone)]
+struct FaultState {
+    /// SplitMix64 stream state.
+    rng: u64,
+    /// Per-bit flip probability as a 2^64 fixed-point threshold: a draw
+    /// below this value flips the bit. `0` means "track pristine copies but
+    /// never flip randomly" (useful for targeted-injection tests).
+    threshold: u64,
+    /// Ground truth for corrupted lines: content as of the last store.
+    /// Lines absent from this map have not drifted since their last write.
+    pristine: HashMap<u64, StoredLine>,
+    stats: FaultStats,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Sparse content store for the PCM array, plus write-wear accounting.
@@ -34,6 +96,7 @@ pub struct StoredLine {
 pub struct Medium {
     lines: HashMap<u64, StoredLine>,
     wear: HashMap<u64, u64>,
+    faults: Option<FaultState>,
 }
 
 impl Medium {
@@ -43,10 +106,54 @@ impl Medium {
         Medium::default()
     }
 
-    /// Stores a line, bumping its wear counter.
+    /// Turns on the seeded RBER injector. `rber_per_tbit` is the expected
+    /// number of flipped bits per 10^12 bit-reads; `0` still enables
+    /// pristine-copy tracking (so [`Medium::inject_bit_flip`] feeds the
+    /// miscorrection detector) but never flips bits randomly.
+    pub fn enable_fault_injection(&mut self, rber_per_tbit: u64, seed: u64) {
+        // p * 2^64, computed exactly in u128: the Bernoulli threshold for a
+        // uniform u64 draw.
+        let threshold = ((u128::from(rber_per_tbit) << 64) / 1_000_000_000_000) as u64;
+        self.faults = Some(FaultState {
+            rng: seed,
+            threshold,
+            pristine: HashMap::new(),
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// Whether the RBER injector (and pristine tracking) is active.
+    #[must_use]
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Fault-injector counters (all zero when injection is disabled).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// The line's content as of its last store, untouched by injected
+    /// flips — the decode ground truth. Returns `None` when fault injection
+    /// is disabled (no shadow is kept) or the line was never written.
+    #[must_use]
+    pub fn pristine(&self, line_addr: u64) -> Option<&StoredLine> {
+        let faults = self.faults.as_ref()?;
+        faults
+            .pristine
+            .get(&line_addr)
+            .or_else(|| self.lines.get(&line_addr))
+    }
+
+    /// Stores a line, bumping its wear counter. A store rewrites every cell,
+    /// so any accumulated fault drift on the line is cleared.
     pub fn store(&mut self, line_addr: u64, data: [u8; LINE_BYTES], ecc: u64) {
         self.lines.insert(line_addr, StoredLine { data, ecc });
         *self.wear.entry(line_addr).or_insert(0) += 1;
+        if let Some(faults) = self.faults.as_mut() {
+            faults.pristine.remove(&line_addr);
+        }
     }
 
     /// Loads a line, or `None` if the address was never written.
@@ -55,10 +162,85 @@ impl Medium {
         self.lines.get(&line_addr)
     }
 
+    /// Runs the RBER sampler over one stored line, as part of a read.
+    /// No-op unless [`Medium::enable_fault_injection`] was called and the
+    /// line exists; flips persist until the line is next stored.
+    pub fn degrade(&mut self, line_addr: u64) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(stored) = self.lines.get_mut(&line_addr) else {
+            return;
+        };
+        faults.stats.reads_sampled += 1;
+        if faults.threshold == 0 {
+            return;
+        }
+        for bit in 0..STORED_BITS {
+            if splitmix64(&mut faults.rng) < faults.threshold {
+                // First flip since the last store: snapshot ground truth.
+                faults.pristine.entry(line_addr).or_insert(*stored);
+                if bit < LINE_BYTES * 8 {
+                    stored.data[bit / 8] ^= 1 << (bit % 8);
+                    faults.stats.data_bits_flipped += 1;
+                } else {
+                    stored.ecc ^= 1u64 << (bit - LINE_BYTES * 8);
+                    faults.stats.ecc_bits_flipped += 1;
+                }
+            }
+        }
+    }
+
+    /// Stores a scrub rewrite: like [`Medium::store`], except that when the
+    /// rewritten content differs from the line's recorded ground truth the
+    /// pristine shadow is preserved rather than cleared. A scrub rewrite
+    /// derives its content from an ECC decode, so a miscorrected decode
+    /// must not launder wrong data into new ground truth — keeping the
+    /// shadow lets later reads detect the line as miscorrected.
+    pub(crate) fn store_scrubbed(&mut self, line_addr: u64, data: [u8; LINE_BYTES], ecc: u64) {
+        let pristine = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.pristine.get(&line_addr).copied());
+        self.store(line_addr, data, ecc);
+        if let (Some(faults), Some(pristine)) = (self.faults.as_mut(), pristine) {
+            if pristine.data != data {
+                faults.pristine.insert(line_addr, pristine);
+            }
+        }
+    }
+
+    /// Copies a stored line between addresses (wear-leveling gap moves),
+    /// bumping the destination's wear. The raw — possibly drifted — cells
+    /// are copied verbatim, and the pristine shadow migrates with them so
+    /// ground truth stays attached to the content, not the address.
+    pub(crate) fn copy_line(&mut self, from: u64, to: u64) {
+        let Some(line) = self.lines.get(&from).copied() else {
+            return;
+        };
+        let pristine = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.pristine.get(&from).copied());
+        self.store(to, line.data, line.ecc);
+        if let (Some(faults), Some(pristine)) = (self.faults.as_mut(), pristine) {
+            faults.pristine.insert(to, pristine);
+        }
+    }
+
     /// Number of distinct lines currently stored.
     #[must_use]
     pub fn lines_stored(&self) -> usize {
         self.lines.len()
+    }
+
+    /// All stored line addresses in ascending order (scrub walk order —
+    /// sorted so walks are deterministic regardless of map iteration).
+    #[must_use]
+    pub fn addresses_sorted(&self) -> Vec<u64> {
+        let mut addrs: Vec<u64> = self.lines.keys().copied().collect();
+        addrs.sort_unstable();
+        addrs
     }
 
     /// Write count for a line (endurance accounting).
@@ -79,15 +261,35 @@ impl Medium {
         self.wear.values().sum()
     }
 
-    /// Flips one stored bit (fault injection for the ECC recovery path).
+    /// Flips one stored bit (targeted fault injection for the ECC recovery
+    /// path). Bytes `0..64` address the data; bytes `64..72` address the
+    /// packed ECC word (little-endian), so stored check and overall-parity
+    /// bits can be corrupted too. When fault injection is enabled the
+    /// pristine shadow is snapshotted first, so the miscorrection detector
+    /// sees the flip.
     ///
     /// Returns `true` if the line existed and the bit was flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte >= 72` or `bit >= 8`.
     pub fn inject_bit_flip(&mut self, line_addr: u64, byte: usize, bit: u8) -> bool {
-        assert!(byte < LINE_BYTES, "byte index out of range");
+        assert!(byte < LINE_BYTES + 8, "byte index out of range");
         assert!(bit < 8, "bit index out of range");
+        // Split the borrow: snapshot before mutating the stored line.
+        if self.lines.contains_key(&line_addr) {
+            if let Some(faults) = self.faults.as_mut() {
+                let stored = self.lines[&line_addr];
+                faults.pristine.entry(line_addr).or_insert(stored);
+            }
+        }
         match self.lines.get_mut(&line_addr) {
             Some(stored) => {
-                stored.data[byte] ^= 1 << bit;
+                if byte < LINE_BYTES {
+                    stored.data[byte] ^= 1 << bit;
+                } else {
+                    stored.ecc ^= 1u64 << ((byte - LINE_BYTES) * 8 + bit as usize);
+                }
                 true
             }
             None => false,
@@ -133,10 +335,77 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_reaches_stored_ecc() {
+        let mut m = Medium::new();
+        m.store(0, [0u8; LINE_BYTES], 0);
+        assert!(m.inject_bit_flip(0, LINE_BYTES, 0), "first ECC bit");
+        assert_eq!(m.load(0).unwrap().ecc, 1);
+        assert!(m.inject_bit_flip(0, LINE_BYTES + 7, 7), "last ECC bit");
+        assert_eq!(m.load(0).unwrap().ecc, 1 | (1 << 63));
+        assert_eq!(m.load(0).unwrap().data, [0u8; LINE_BYTES], "data untouched");
+    }
+
+    #[test]
     #[should_panic(expected = "byte index out of range")]
     fn bit_flip_validates_byte() {
         let mut m = Medium::new();
         m.store(0, [0u8; LINE_BYTES], 0);
-        m.inject_bit_flip(0, 64, 0);
+        m.inject_bit_flip(0, 72, 0);
+    }
+
+    #[test]
+    fn degrade_is_inert_without_injection() {
+        let mut m = Medium::new();
+        m.store(0, [7u8; LINE_BYTES], 9);
+        m.degrade(0);
+        assert_eq!(m.load(0).unwrap().data, [7u8; LINE_BYTES]);
+        assert_eq!(m.fault_stats(), FaultStats::default());
+        assert!(m.pristine(0).is_none(), "no shadow without injection");
+    }
+
+    #[test]
+    fn degrade_flips_persist_and_are_seed_deterministic() {
+        let run = |seed| {
+            let mut m = Medium::new();
+            // Enormous RBER so a handful of reads certainly flips bits.
+            m.enable_fault_injection(20_000_000_000, seed);
+            m.store(0, [0u8; LINE_BYTES], 0);
+            for _ in 0..50 {
+                m.degrade(0);
+            }
+            (*m.load(0).unwrap(), m.fault_stats())
+        };
+        let (a, sa) = run(1);
+        let (b, sb) = run(1);
+        assert_eq!(a, b, "same seed, same flips");
+        assert_eq!(sa, sb);
+        assert!(sa.bits_flipped() > 0, "flips happened");
+        assert_eq!(sa.reads_sampled, 50);
+        let (c, _) = run(2);
+        assert_ne!(a, c, "different seed diverges (overwhelmingly likely)");
+    }
+
+    #[test]
+    fn pristine_tracks_ground_truth_until_rewrite() {
+        let mut m = Medium::new();
+        m.enable_fault_injection(0, 0);
+        m.store(0, [3u8; LINE_BYTES], 1);
+        assert_eq!(m.pristine(0).unwrap().data, [3u8; LINE_BYTES]);
+        m.inject_bit_flip(0, 0, 0);
+        assert_eq!(m.load(0).unwrap().data[0], 2, "stored bits drifted");
+        assert_eq!(m.pristine(0).unwrap().data[0], 3, "shadow keeps truth");
+        m.store(0, [5u8; LINE_BYTES], 2);
+        assert_eq!(m.pristine(0).unwrap().data, [5u8; LINE_BYTES], "rewrite resets");
+    }
+
+    #[test]
+    fn copy_line_migrates_pristine_shadow() {
+        let mut m = Medium::new();
+        m.enable_fault_injection(0, 0);
+        m.store(0, [3u8; LINE_BYTES], 1);
+        m.inject_bit_flip(0, 0, 0);
+        m.copy_line(0, 64);
+        assert_eq!(m.load(64).unwrap().data[0], 2, "raw cells copied");
+        assert_eq!(m.pristine(64).unwrap().data[0], 3, "truth followed the move");
     }
 }

@@ -30,6 +30,8 @@ pub enum AccessClass {
     Data,
     /// Deduplication metadata (fingerprint store, address-mapping table).
     Metadata,
+    /// Background scrub traffic (patrol reads and corrective rewrites).
+    Scrub,
 }
 
 /// Completion report for one device access.
@@ -67,6 +69,8 @@ pub struct PcmStats {
     pub data: PcmCounters,
     /// Metadata-class traffic.
     pub metadata: PcmCounters,
+    /// Background-scrub traffic (patrol reads, corrective rewrites).
+    pub scrub: PcmCounters,
     /// Total picoseconds any bank spent busy (utilization numerator).
     pub busy_time: Ps,
 }
@@ -75,19 +79,19 @@ impl PcmStats {
     /// All reads regardless of class.
     #[must_use]
     pub fn total_reads(&self) -> u64 {
-        self.data.reads + self.metadata.reads
+        self.data.reads + self.metadata.reads + self.scrub.reads
     }
 
     /// All writes regardless of class.
     #[must_use]
     pub fn total_writes(&self) -> u64 {
-        self.data.writes + self.metadata.writes
+        self.data.writes + self.metadata.writes + self.scrub.writes
     }
 
     /// All energy regardless of class.
     #[must_use]
     pub fn total_energy(&self) -> Energy {
-        self.data.energy + self.metadata.energy
+        self.data.energy + self.metadata.energy + self.scrub.energy
     }
 }
 
@@ -201,6 +205,7 @@ impl PcmDevice {
         let counters = match class {
             AccessClass::Data => &mut self.stats.data,
             AccessClass::Metadata => &mut self.stats.metadata,
+            AccessClass::Scrub => &mut self.stats.scrub,
         };
         match op {
             PcmOp::Read => counters.reads += 1,
@@ -266,14 +271,17 @@ mod tests {
         let mut pcm = device();
         pcm.access(Ps::ZERO, 0, PcmOp::Write, AccessClass::Data);
         pcm.access(Ps::ZERO, 64, PcmOp::Read, AccessClass::Metadata);
+        pcm.access(Ps::ZERO, 128, PcmOp::Read, AccessClass::Scrub);
         let stats = pcm.stats();
         assert_eq!(stats.data.writes, 1);
         assert_eq!(stats.metadata.reads, 1);
+        assert_eq!(stats.scrub.reads, 1);
         assert_eq!(stats.data.energy.as_pj(), 6750);
         assert_eq!(stats.metadata.energy.as_pj(), 1490);
-        assert_eq!(stats.total_reads(), 1);
+        assert_eq!(stats.scrub.energy.as_pj(), 1490);
+        assert_eq!(stats.total_reads(), 2);
         assert_eq!(stats.total_writes(), 1);
-        assert_eq!(stats.total_energy().as_pj(), 8240);
+        assert_eq!(stats.total_energy().as_pj(), 9730);
     }
 
     #[test]

@@ -37,9 +37,13 @@ impl NvmmSystem {
     /// Creates an empty system with the given device configuration.
     #[must_use]
     pub fn new(config: PcmConfig) -> Self {
+        let mut medium = Medium::new();
+        if config.rber_per_tbit > 0 {
+            medium.enable_fault_injection(config.rber_per_tbit, config.rber_seed);
+        }
         NvmmSystem {
             pcm: PcmDevice::new(config),
-            medium: Medium::new(),
+            medium,
             leveler: None,
         }
     }
@@ -104,11 +108,21 @@ impl NvmmSystem {
     }
 
     /// Reads a data line: device timing plus stored content (which is `None`
-    /// for never-written addresses).
+    /// for never-written addresses). When fault injection is on, the read
+    /// first runs the RBER sampler over the line, so returned content may
+    /// carry (persistent) bit flips for the ECC path to handle.
     pub fn read_line(&mut self, now: Ps, line_addr: u64) -> (Completion, Option<StoredLine>) {
         let device = self.device_addr(line_addr);
         let completion = self.pcm.access(now, device, PcmOp::Read, AccessClass::Data);
+        self.medium.degrade(device);
         (completion, self.medium.load(device).copied())
+    }
+
+    /// The line's fault-free ground truth (see [`Medium::pristine`]);
+    /// `None` when fault injection is off or the address was never written.
+    #[must_use]
+    pub fn pristine_line(&self, line_addr: u64) -> Option<&StoredLine> {
+        self.medium.pristine(self.device_addr(line_addr))
     }
 
     /// Writes a data line: device timing plus content update and wear.
@@ -131,10 +145,40 @@ impl NvmmSystem {
                 .access(completion.finish, from, PcmOp::Read, AccessClass::Metadata);
             self.pcm
                 .access(completion.finish, to, PcmOp::Write, AccessClass::Metadata);
-            if let Some(line) = self.medium.load(from).copied() {
-                self.medium.store(to, line.data, line.ecc);
-            }
+            self.medium.copy_line(from, to);
         }
+        completion
+    }
+
+    /// A patrol read issued by the background scrub engine. Operates on a
+    /// *device* address (scrubbing walks the physical array, so wear-level
+    /// translation is not re-applied) and is charged under
+    /// [`AccessClass::Scrub`]. The patrol read itself does not run the RBER
+    /// sampler — the scrubber models an idealized maintenance read.
+    pub fn scrub_read(&mut self, now: Ps, device_addr: u64) -> (Completion, Option<StoredLine>) {
+        let completion = self
+            .pcm
+            .access(now, device_addr, PcmOp::Read, AccessClass::Scrub);
+        (completion, self.medium.load(device_addr).copied())
+    }
+
+    /// A corrective rewrite issued by the scrub engine at a *device*
+    /// address, charged under [`AccessClass::Scrub`]. Rewriting clears any
+    /// accumulated fault drift on the line — but if the rewritten content
+    /// differs from the injector's recorded ground truth (the decode the
+    /// scrubber trusted was a miscorrection), the pristine shadow survives
+    /// so later reads can still flag the line.
+    pub fn scrub_write(
+        &mut self,
+        now: Ps,
+        device_addr: u64,
+        data: [u8; LINE_BYTES],
+        ecc: u64,
+    ) -> Completion {
+        let completion = self
+            .pcm
+            .access(now, device_addr, PcmOp::Write, AccessClass::Scrub);
+        self.medium.store_scrubbed(device_addr, data, ecc);
         completion
     }
 
