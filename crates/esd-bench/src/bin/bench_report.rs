@@ -221,6 +221,44 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     structures
 }
 
+/// Times a verified ESD replay with observability disabled (the no-op sink
+/// behind every hot-path call site) and fully enabled (trace ring, span
+/// histograms, epoch snapshots), in nanoseconds per access. The disabled
+/// figure is the cost the instrumentation adds to every normal run — it
+/// must stay within noise of an uninstrumented build, which the report's
+/// `speedup_vs_previous` field cross-checks end to end.
+fn measure_obs_overhead() -> Vec<KernelSpeedup> {
+    use esd_core::{replay_with, RunOptions};
+    let trace = esd_trace::generate_trace(&esd_trace::AppProfile::demo(), 42, 100_000);
+    let config = esd_sim::SystemConfig::default();
+    let run = |options: &RunOptions| {
+        let t0 = Instant::now();
+        black_box(
+            replay_with(SchemeKind::Esd, &trace, &config, options).expect("verified replay"),
+        );
+        t0.elapsed().as_secs_f64() * 1e9 / trace.len() as f64
+    };
+    let off = RunOptions::default();
+    let on = RunOptions {
+        observe: true,
+        epoch_interval: Some(10_000),
+        ..RunOptions::default()
+    };
+    // One warmup pair, then best-of-7 interleaved: the replays are short
+    // (~60 ms), so minimum-of-many is what rejects scheduler noise.
+    let _ = (run(&off), run(&on));
+    let (mut off_ns, mut on_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..7 {
+        off_ns = off_ns.min(run(&off));
+        on_ns = on_ns.min(run(&on));
+    }
+    vec![KernelSpeedup {
+        name: "esd_replay_obs_enabled_vs_off".into(),
+        reference_ns: on_ns,
+        fast_ns: off_ns,
+    }]
+}
+
 fn main() {
     let sweep = Sweep::default();
     let out_path = std::env::var_os("ESD_BENCH_OUT")
@@ -261,7 +299,7 @@ fn main() {
     }
 
     eprintln!("bench_report: timing metadata structures ...");
-    let structures = measure_structures();
+    let mut structures = measure_structures();
     for s in &structures {
         eprintln!(
             "bench_report:   {:<24} {:>8.1} ns -> {:>7.1} ns  ({:.2}x)",
@@ -271,6 +309,20 @@ fn main() {
             s.speedup()
         );
     }
+
+    eprintln!("bench_report: timing observability overhead ...");
+    let obs = measure_obs_overhead();
+    for o in &obs {
+        eprintln!(
+            "bench_report:   {:<28} enabled {:>7.1} ns/access, disabled {:>7.1} ns/access \
+             (full collection costs {:+.1}%)",
+            o.name,
+            o.reference_ns,
+            o.fast_ns,
+            (o.reference_ns / o.fast_ns.max(1e-9) - 1.0) * 100.0
+        );
+    }
+    structures.extend(obs);
 
     eprintln!("bench_report: serial baseline ...");
     let t0 = Instant::now();

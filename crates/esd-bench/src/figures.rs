@@ -181,7 +181,10 @@ pub fn print_fig17(rows: &[AppRow]) {
         "{}",
         format_row(
             "scheme",
-            &["fingerprint".into(), "nvmm_lookup".into(), "compare_rd".into(), "unique_wr".into()]
+            &esd_sim::WriteLatencyBreakdown::NAMES
+                .iter()
+                .map(|n| (*n).to_owned())
+                .collect::<Vec<_>>()
         )
     );
     for &kind in &[
@@ -271,7 +274,8 @@ pub fn print_fig05(rows: &[AppRow]) {
         let writes = r.stats.writes_received.max(1) as f64;
         let cache = r.stats.dedup_cache_filtered as f64 / writes;
         let nvmm = r.stats.dedup_nvmm_filtered as f64 / writes;
-        let lookup_share = r.breakdown.fractions()[1];
+        // Index 2 of the seven-stage decomposition is `nvmm_lookup`.
+        let lookup_share = r.breakdown.fractions()[2];
         sums[0] += cache;
         sums[1] += nvmm;
         sums[2] += lookup_share;

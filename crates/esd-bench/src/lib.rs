@@ -62,6 +62,11 @@ pub struct Sweep {
     /// Background-scrub cadence in trace accesses (`None` disables
     /// scrubbing). Populated from `ESD_SCRUB_EVERY` by [`Sweep::new`].
     pub scrub_interval: Option<u64>,
+    /// Epoch time-series cadence in trace accesses. Defaults to a tenth of
+    /// the run (ten snapshots per task); override with `ESD_EPOCH_EVERY`
+    /// (`0` disables collection). Epoch collection is read-only: it never
+    /// perturbs the simulation itself.
+    pub epoch_interval: Option<u64>,
 }
 
 impl Default for Sweep {
@@ -78,9 +83,10 @@ impl Sweep {
         let mut config = SystemConfig::default();
         config.pcm.rber_per_tbit = env_u64("ESD_RBER", config.pcm.rber_per_tbit);
         config.pcm.rber_seed = env_u64("ESD_RBER_SEED", config.pcm.rber_seed);
+        let accesses = env_usize("ESD_ACCESSES", DEFAULT_ACCESSES);
         Sweep {
             apps,
-            accesses: env_usize("ESD_ACCESSES", DEFAULT_ACCESSES),
+            accesses,
             seed: env_u64("ESD_SEED", DEFAULT_SEED),
             config,
             threads: env_threads(),
@@ -88,15 +94,21 @@ impl Sweep {
                 0 => None,
                 n => Some(n),
             },
+            epoch_interval: match env_u64("ESD_EPOCH_EVERY", (accesses as u64 / 10).max(1)) {
+                0 => None,
+                n => Some(n),
+            },
         }
     }
 
     /// The per-replay [`RunOptions`] this sweep uses (verification on,
-    /// scrub cadence from [`Sweep::scrub_interval`]).
+    /// scrub cadence from [`Sweep::scrub_interval`], epoch collection from
+    /// [`Sweep::epoch_interval`]).
     #[must_use]
     pub fn run_options(&self) -> RunOptions {
         RunOptions {
             scrub_interval: self.scrub_interval,
+            epoch_interval: self.epoch_interval,
             ..RunOptions::default()
         }
     }

@@ -8,6 +8,10 @@
 //! structures over their reference implementations, and the end-to-end
 //! throughput delta against the previously checked-in report. Written to
 //! the repository root by the `bench_report` and `fig_all` binaries.
+//!
+//! Schema v4 adds a `latency` block (per-scheme p50/p95/p99/p999 read and
+//! write latency, merged across all workloads) and an `epoch_series` block
+//! (the first workload's per-scheme time-series snapshots).
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -96,7 +100,7 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v3"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v4"));
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
     push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
@@ -154,6 +158,8 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
         push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
     }
     push_reliability(&mut out, sweep, outcome);
+    push_latency(&mut out, sweep, outcome);
+    push_epoch_series(&mut out, outcome);
     push_speedup_array(&mut out, "kernel_speedups", "kernel", extras.kernels);
     push_speedup_array(&mut out, "structure_speedups", "structure", extras.structures);
     out.push_str("  \"tasks\": [\n");
@@ -247,6 +253,74 @@ fn push_reliability(out: &mut String, sweep: &Sweep, outcome: &SweepOutcome) {
     out.push_str("  },\n");
 }
 
+/// The `latency` block: per-scheme write/read latency distributions merged
+/// across every workload, rendered as count/mean/p50/p95/p99/p999 (ns).
+fn push_latency(out: &mut String, sweep: &Sweep, outcome: &SweepOutcome) {
+    let schemes: Vec<_> = outcome
+        .rows
+        .first()
+        .map(|row| row.reports.iter().map(|r| r.scheme).collect())
+        .unwrap_or_default();
+    if schemes.is_empty() {
+        return;
+    }
+    out.push_str("  \"latency\": {\n");
+    push_kv(out, 2, "epoch_interval", &sweep.epoch_interval.unwrap_or(0).to_string());
+    out.push_str("    \"schemes\": [\n");
+    for (i, &kind) in schemes.iter().enumerate() {
+        let mut write = esd_sim::LatencyHistogram::new();
+        let mut read = esd_sim::LatencyHistogram::new();
+        for row in &outcome.rows {
+            if let Some(r) = row.report(kind) {
+                write.merge(&r.write_latency);
+                read.merge(&r.read_latency);
+            }
+        }
+        out.push_str("      {");
+        out.push_str(&format!(
+            "\"scheme\": {}, \"write\": {}, \"read\": {}",
+            json_str(kind.name()),
+            esd_obs::histogram_json(&write),
+            esd_obs::histogram_json(&read)
+        ));
+        out.push('}');
+        if i + 1 < schemes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]\n  },\n");
+}
+
+/// The `epoch_series` block: the first workload's per-scheme time-series
+/// snapshots (one representative series keeps the checked-in report small;
+/// full series for any workload are available via `esd-cli run
+/// --metrics-json`).
+fn push_epoch_series(out: &mut String, outcome: &SweepOutcome) {
+    let Some(row) = outcome.rows.first() else {
+        return;
+    };
+    if row.reports.iter().all(|r| r.epochs.is_empty()) {
+        return;
+    }
+    out.push_str("  \"epoch_series\": [\n");
+    for (i, r) in row.reports.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"app\": {}, \"scheme\": {}, \"epochs\": {}",
+            json_str(&r.app),
+            json_str(r.scheme.name()),
+            esd_obs::epochs_to_json(&r.epochs)
+        ));
+        out.push('}');
+        if i + 1 < row.reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+}
+
 fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[KernelSpeedup]) {
     if items.is_empty() {
         return;
@@ -314,6 +388,7 @@ mod tests {
     fn tiny_outcome() -> (Sweep, SweepOutcome) {
         let mut sweep = Sweep::new(vec![AppProfile::demo()]);
         sweep.accesses = 500;
+        sweep.epoch_interval = Some(100);
         let outcome = sweep.run_timed(&[SchemeKind::Baseline, SchemeKind::Esd]);
         (sweep, outcome)
     }
@@ -344,9 +419,17 @@ mod tests {
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v3\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v4\""));
         assert!(json.contains("\"accesses_per_task\": 500"));
         assert!(json.contains("\"reliability\": {"));
+        assert!(json.contains("\"latency\": {"));
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"p95_ns\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"epoch_series\": ["));
+        assert!(json.contains("\"dedup_rate\""));
+        assert!(json.contains("\"write_buffer_depth\""));
         assert!(json.contains("\"rber_per_tbit\": 0"));
         assert!(json.contains("\"reads_uncorrectable\": 0"));
         assert_eq!(json.matches("\"scrub_lines_corrected\"").count(), 2);

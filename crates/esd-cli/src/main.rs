@@ -15,6 +15,12 @@
 //! seeded fault injector, `--rber-seed <N>` picks its stream, and
 //! `--scrub-every <accesses>` (with `--scrub-lines <N>` per tick) runs the
 //! background scrubber.
+//!
+//! Observability flags (`run`/`replay`): `--metrics-json <file>` writes
+//! latency percentiles, epoch series, and the span-fed metrics registry;
+//! `--trace-events <file>` writes Chrome trace-event JSON (load in Perfetto
+//! or `chrome://tracing`); `--epoch-every <N>` samples a time-series
+//! snapshot every N accesses.
 
 mod args;
 
@@ -55,7 +61,9 @@ fn usage() -> &'static str {
      esd-cli config\n\n\
      schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify\n\
      reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
-     \x20                                 [--scrub-every <accesses>] [--scrub-lines N]"
+     \x20                                 [--scrub-every <accesses>] [--scrub-lines N]\n\
+     observability (run/replay): [--metrics-json <file>] [--trace-events <file>]\n\
+     \x20                           [--epoch-every <accesses>]"
 }
 
 fn dispatch(command: &str, rest: Vec<String>) -> Result<(), String> {
@@ -138,7 +146,84 @@ fn reliability_options(args: &Args, config: &mut SystemConfig) -> Result<RunOpti
         verify: true,
         scrub_interval: (scrub_every > 0).then_some(scrub_every),
         scrub_lines_per_tick: scrub_lines,
+        ..RunOptions::default()
     })
+}
+
+/// Flag names shared by `run` and `replay` for observability outputs.
+const OBS_FLAGS: [&str; 3] = ["metrics-json", "trace-events", "epoch-every"];
+
+/// Output paths requested by the observability flags.
+struct ObsOutputs {
+    metrics_json: Option<String>,
+    trace_events: Option<String>,
+}
+
+/// Applies the observability flags: `--epoch-every` turns on time-series
+/// collection, and either output path (`--metrics-json`, `--trace-events`)
+/// installs the enabled collector into the run.
+fn observability_options(args: &Args, options: &mut RunOptions) -> Result<ObsOutputs, String> {
+    let epoch_every: u64 = args.get_parsed_or("epoch-every", 0).map_err(|e| e.to_string())?;
+    options.epoch_interval = (epoch_every > 0).then_some(epoch_every);
+    let outputs = ObsOutputs {
+        metrics_json: args.get("metrics-json").map(str::to_owned),
+        trace_events: args.get("trace-events").map(str::to_owned),
+    };
+    options.observe = outputs.metrics_json.is_some() || outputs.trace_events.is_some();
+    Ok(outputs)
+}
+
+/// Writes the requested observability artifacts for one finished run.
+fn write_observability(report: &RunReport, outputs: &ObsOutputs) -> Result<(), String> {
+    if let Some(path) = &outputs.trace_events {
+        let json = report
+            .obs
+            .as_ref()
+            .map(esd_obs::Obs::to_chrome_json)
+            .unwrap_or_else(|| "{\"traceEvents\":[]}".to_owned());
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Chrome trace events to {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = &outputs.metrics_json {
+        fs::write(path, metrics_document(report)).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote metrics to {path}");
+    }
+    Ok(())
+}
+
+/// Renders one run's metrics as a JSON document: latency percentiles, the
+/// epoch time-series, predictor accuracy, and the span-fed registry.
+fn metrics_document(report: &RunReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"scheme\":\"");
+    out.push_str(report.scheme.name());
+    out.push_str("\",\"app\":\"");
+    out.push_str(&report.app.replace('"', "'"));
+    out.push_str("\",\"write_latency\":");
+    out.push_str(&esd_obs::histogram_json(&report.write_latency));
+    out.push_str(",\"read_latency\":");
+    out.push_str(&esd_obs::histogram_json(&report.read_latency));
+    out.push_str(",\"predictor\":");
+    match &report.predictor {
+        Some(p) => {
+            out.push_str(&format!(
+                "{{\"correct\":{},\"incorrect\":{},\"accuracy\":{}}}",
+                p.correct,
+                p.incorrect,
+                p.accuracy().map_or("null".to_owned(), |a| format!("{a:.6}")),
+            ));
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"epochs\":");
+    out.push_str(&esd_obs::epochs_to_json(&report.epochs));
+    out.push_str(",\"registry\":");
+    match &report.obs {
+        Some(obs) => out.push_str(&obs.metrics_json()),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
 }
 
 fn run_one(
@@ -157,18 +242,24 @@ fn run_one(
 }
 
 fn cmd_run(rest: Vec<String>) -> Result<(), String> {
-    let allowed: Vec<&str> =
-        [&["app", "scheme", "accesses", "seed"][..], &RELIABILITY_FLAGS[..]].concat();
+    let allowed: Vec<&str> = [
+        &["app", "scheme", "accesses", "seed"][..],
+        &RELIABILITY_FLAGS[..],
+        &OBS_FLAGS[..],
+    ]
+    .concat();
     let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let app = app_by_name(args.get_or("app", "demo"))?;
     let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
     let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
     let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
     let mut config = SystemConfig::default();
-    let options = reliability_options(&args, &mut config)?;
+    let mut options = reliability_options(&args, &mut config)?;
+    let outputs = observability_options(&args, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
     let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());
+    write_observability(&report, &outputs)?;
     Ok(())
 }
 
@@ -271,7 +362,8 @@ fn cmd_analyze(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
-    let allowed: Vec<&str> = [&["scheme"][..], &RELIABILITY_FLAGS[..]].concat();
+    let allowed: Vec<&str> =
+        [&["scheme"][..], &RELIABILITY_FLAGS[..], &OBS_FLAGS[..]].concat();
     let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let path = args
         .required_positional(0, "<trace-file>")
@@ -279,9 +371,11 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let kind = scheme_by_name(args.get_or("scheme", "esd"))?;
     let trace = load_trace(path)?;
     let mut config = SystemConfig::default();
-    let options = reliability_options(&args, &mut config)?;
+    let mut options = reliability_options(&args, &mut config)?;
+    let outputs = observability_options(&args, &mut options)?;
     let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());
+    write_observability(&report, &outputs)?;
     Ok(())
 }
 

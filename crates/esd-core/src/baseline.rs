@@ -34,6 +34,7 @@ pub struct Baseline {
     cme: CmeEngine,
     stats: SchemeStats,
     breakdown: WriteLatencyBreakdown,
+    obs: esd_obs::Obs,
 }
 
 impl Baseline {
@@ -45,6 +46,7 @@ impl Baseline {
             cme: CmeEngine::new([0xB0; 16]),
             stats: SchemeStats::default(),
             breakdown: WriteLatencyBreakdown::default(),
+            obs: esd_obs::Obs::disabled(),
         }
     }
 }
@@ -58,10 +60,12 @@ impl DedupScheme for Baseline {
         self.stats.writes_received += 1;
         self.stats.writes_unique += 1;
         let t = now + Ps::from_ns(self.cme.cost_model().encrypt_latency_ns);
+        self.obs.span("write", "encrypt", now, t);
         self.stats.compute_energy += Energy::from_pj(self.cme.cost_model().crypt_energy_pj);
         let cipher = self.cme.encrypt_line(logical, line.as_bytes());
         let ecc = esd_ecc::encode_line(&cipher).to_u64();
         let completion = self.nvmm.write_line(t, logical, cipher, ecc);
+        self.obs.span("write", "device_write", t, completion.finish);
         let latency = completion.finish.saturating_sub(now);
         self.breakdown.unique_write += latency;
         WriteResult {
@@ -88,6 +92,18 @@ impl DedupScheme for Baseline {
         // uncorrectable line is counted and flagged, never zero-masked.
         let pristine = self.nvmm.pristine_line(logical).copied();
         let decoded = decode_stored(&mut self.stats, &s, pristine.as_ref());
+        match decoded.outcome {
+            ReadOutcome::Corrected { .. } => {
+                self.obs.instant("ecc", "ecc_corrected", completion.finish);
+            }
+            ReadOutcome::Uncorrectable => {
+                self.obs.instant("ecc", "ecc_uncorrectable", completion.finish);
+            }
+            ReadOutcome::Miscorrected => {
+                self.obs.instant("ecc", "ecc_miscorrected", completion.finish);
+            }
+            ReadOutcome::Clean | ReadOutcome::Unmapped => {}
+        }
         let data = decoded.cipher.and_then(|cipher| {
             self.stats.compute_energy += Energy::from_pj(self.cme.cost_model().crypt_energy_pj);
             self.cme
@@ -130,6 +146,10 @@ impl DedupScheme for Baseline {
 
     fn nvmm_mut(&mut self) -> &mut NvmmSystem {
         &mut self.nvmm
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.obs)
     }
 }
 

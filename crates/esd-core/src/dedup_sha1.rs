@@ -71,11 +71,15 @@ impl DedupScheme for DedupSha1 {
         core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
         let t = now + Ps::from_ns(cost.latency_ns);
         core.breakdown.fingerprint_compute += Ps::from_ns(cost.latency_ns);
+        core.obs.span("write", "fingerprint", now, t);
 
         // Fingerprint lookup: SRAM cache, then the NVMM-resident store.
         let lookup = self.store.lookup(t, fp, &mut core.nvmm);
-        if lookup.source != LookupSource::Cache {
-            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        match lookup.source {
+            LookupSource::Cache => {
+                core.breakdown.sram_probe += lookup.done.saturating_sub(t);
+            }
+            _ => core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t),
         }
         let t = lookup.done;
 
@@ -88,6 +92,7 @@ impl DedupScheme for DedupSha1 {
                     _ => core.stats.dedup_nvmm_filtered += 1,
                 }
                 let done = core.remap_to(t, logical, physical, &mut |_| {});
+                core.breakdown.mapping_update += done.saturating_sub(t);
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -148,6 +153,10 @@ impl DedupScheme for DedupSha1 {
 
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
     }
 }
 

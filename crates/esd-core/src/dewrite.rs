@@ -64,11 +64,6 @@ impl DeWrite {
         }
     }
 
-    /// Prediction accuracy so far.
-    #[must_use]
-    pub fn predictor_stats(&self) -> crate::predictor::PredictorStats {
-        self.predictor.stats()
-    }
 }
 
 impl DedupScheme for DeWrite {
@@ -87,7 +82,6 @@ impl DedupScheme for DeWrite {
             .expect("crc32 computes a key");
         core.stats.fingerprint_computations += 1;
         core.stats.compute_energy += Energy::from_pj(crc_cost.energy_pj);
-        core.breakdown.fingerprint_compute += Ps::from_ns(crc_cost.latency_ns);
 
         // Speculative parallel encryption for predicted-non-duplicates: the
         // pipeline advances by max(CRC, AES) instead of their sum.
@@ -99,10 +93,17 @@ impl DedupScheme for DeWrite {
             core.charge_crypt_energy(); // work happens even if wasted (F4)
             now + Ps::from_ns(crc_cost.latency_ns.max(core.encrypt_latency().as_ns()))
         };
+        // The whole exposed front end (CRC, plus any speculative encryption
+        // it could not hide) is the fingerprint stage of this write.
+        core.breakdown.fingerprint_compute += t.saturating_sub(now);
+        core.obs.span("write", "fingerprint", now, t);
 
         let lookup = self.store.lookup(t, fp, &mut core.nvmm);
-        if lookup.source != LookupSource::Cache {
-            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        match lookup.source {
+            LookupSource::Cache => {
+                core.breakdown.sram_probe += lookup.done.saturating_sub(t);
+            }
+            _ => core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t),
         }
         let mut t = lookup.done;
 
@@ -110,8 +111,10 @@ impl DedupScheme for DeWrite {
             // CRC match: verify with a read-back byte comparison.
             let before = t;
             let (finish, verify) = core.read_physical(t, physical);
+            core.breakdown.compare_read += finish.saturating_sub(before);
+            core.obs.span("write", "compare_read", before, finish);
             t = finish + core.compare_latency;
-            core.breakdown.compare_read += t.saturating_sub(before);
+            core.breakdown.compare += core.compare_latency;
             core.stats.compare_reads += 1;
 
             // An unreadable candidate can never verify as a duplicate.
@@ -128,6 +131,7 @@ impl DedupScheme for DeWrite {
                 }
                 self.predictor.update(logical, true);
                 let done = core.remap_to(t, logical, physical, &mut |_| {});
+                core.breakdown.mapping_update += done.saturating_sub(t);
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -144,13 +148,18 @@ impl DedupScheme for DeWrite {
         if !encrypted_speculatively && !predicted_dup {
             unreachable!("non-speculative path implies a duplicate prediction");
         }
-        if predicted_dup {
-            core.stats.mispredictions += 1; // F2
-            t += core.encrypt_latency();
-        }
         self.predictor.update(logical, false);
 
+        // The F2 penalty (encryption serialized behind the verify) is part
+        // of this write's unique-write stage, so capture the stage start
+        // before charging it.
         let before_write = t;
+        if predicted_dup {
+            core.stats.mispredictions += 1; // F2
+            let encrypted_at = t + core.encrypt_latency();
+            core.obs.span("write", "encrypt", t, encrypted_at);
+            t = encrypted_at;
+        }
         let (done, finish, physical) = core.write_unique(t, logical, &line, true, &mut |_| {});
         if lookup.physical.is_none() {
             // Index entries pin their lines: full dedup never reclaims.
@@ -199,6 +208,14 @@ impl DedupScheme for DeWrite {
 
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
+    }
+
+    fn predictor_stats(&self) -> Option<crate::predictor::PredictorStats> {
+        Some(self.predictor.stats())
     }
 }
 

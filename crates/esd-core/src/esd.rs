@@ -169,6 +169,8 @@ impl DedupScheme for Esd {
         // The ECC fingerprint is free: the controller computed it already.
         let fp = self.codec.line_fingerprint(line.as_bytes());
         let t = now + self.core.sram_latency; // EFIT probe
+        self.core.breakdown.sram_probe += self.core.sram_latency;
+        self.core.obs.span("write", "efit_probe", now, t);
 
         let entry = self.efit.lookup(fp);
         match entry {
@@ -182,8 +184,11 @@ impl DedupScheme for Esd {
                 // relative to writes — the asymmetry ESD exploits).
                 let before = t;
                 let (finish, verify) = self.core.read_physical(t, entry.physical);
+                self.core.breakdown.compare_read += finish.saturating_sub(before);
+                self.core.obs.span("write", "compare_read", before, finish);
                 let t = finish + self.core.compare_latency;
-                self.core.breakdown.compare_read += t.saturating_sub(before);
+                self.core.breakdown.compare += self.core.compare_latency;
+                self.core.obs.span("write", "compare", finish, t);
                 self.core.stats.compare_reads += 1;
                 if verify.ecc_bit_corrections > 0 {
                     // The stored ECC bits of an EFIT candidate drifted: the
@@ -212,6 +217,8 @@ impl DedupScheme for Esd {
                 self.core.stats.dedup_cache_filtered += 1; // EFIT is SRAM-only
                 self.efit.bump_ref(fp);
                 let done = self.core.remap_to(t, logical, entry.physical, &mut |_| {});
+                self.core.breakdown.mapping_update += done.saturating_sub(t);
+                self.core.obs.span("write", "mapping_update", t, done);
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -256,6 +263,10 @@ impl DedupScheme for Esd {
 
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
     }
 }
 
@@ -371,6 +382,81 @@ mod tests {
     fn lru_ablation_constructs() {
         let s = Esd::with_policy(&SystemConfig::default(), EfitPolicy::Lru);
         assert_eq!(s.efit().policy(), EfitPolicy::Lru);
+    }
+
+    /// Finds two distinct cache lines with the same ECC fingerprint, by
+    /// pigeonhole: a line built from one repeated 8-byte word draws its
+    /// fingerprint from the ≤256 possible per-word SEC-DED codewords, so
+    /// scanning a few hundred candidate words must produce a collision.
+    fn ecc_colliding_lines(codec: esd_ecc::EccCodec) -> (CacheLine, CacheLine) {
+        let repeated = |word: u64| {
+            let mut bytes = [0u8; 64];
+            for chunk in bytes.chunks_mut(8) {
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+            CacheLine::new(bytes)
+        };
+        let mut seen: Vec<(u64, CacheLine)> = Vec::new();
+        for word in 0..600u64 {
+            let line = repeated(word);
+            let fp = codec.line_fingerprint(line.as_bytes());
+            if let Some((_, first)) = seen.iter().find(|(f, _)| *f == fp) {
+                return (*first, line);
+            }
+            seen.push((fp, line));
+        }
+        unreachable!("pigeonhole guarantees a collision within 257 candidates");
+    }
+
+    #[test]
+    fn breakdown_buckets_partition_every_write_exactly() {
+        // The seven breakdown buckets must sum to each write's end-to-end
+        // latency on all three ESD paths: EFIT miss (unique), EFIT hit that
+        // verifies (dedup), and EFIT hit that fails verification (an ECC
+        // collision written as unique).
+        let mut s = scheme();
+        let (a, b) = ecc_colliding_lines(s.codec());
+        assert_ne!(a, b, "collision must be between distinct contents");
+
+        // Path 1: EFIT miss → unique write.
+        let before = s.breakdown().total();
+        let w1 = s.write(Ps::ZERO, 0x00, a);
+        assert!(!w1.deduplicated);
+        assert_eq!(s.breakdown().total().saturating_sub(before), w1.latency);
+
+        // Path 2: EFIT hit, verify succeeds → dedup.
+        let before = s.breakdown().total();
+        let w2 = s.write(Ps::from_us(1), 0x40, a);
+        assert!(w2.deduplicated);
+        assert_eq!(s.breakdown().total().saturating_sub(before), w2.latency);
+        // The comparator must be charged separately from the verify read.
+        let bd = s.breakdown();
+        assert!(bd.compare > Ps::ZERO, "comparator bucket must be charged");
+        assert!(bd.compare_read > Ps::ZERO);
+        assert!(bd.mapping_update > Ps::ZERO);
+
+        // Path 3: EFIT hit, verify fails (ECC collision) → unique write.
+        let before = s.breakdown().total();
+        let reads_before = s.stats().compare_reads;
+        let w3 = s.write(Ps::from_us(2), 0x80, b);
+        assert!(!w3.deduplicated, "colliding content must not deduplicate");
+        assert_eq!(s.stats().compare_reads, reads_before + 1);
+        assert_eq!(s.breakdown().total().saturating_sub(before), w3.latency);
+        assert_eq!(s.read(Ps::from_us(3), 0x80).data, b, "collision stays safe");
+    }
+
+    #[test]
+    fn enabled_obs_records_write_path_spans() {
+        let mut s = scheme();
+        *s.obs_mut().expect("esd exposes obs") = esd_obs::Obs::enabled(0);
+        let line = CacheLine::from_fill(0x77);
+        s.write(Ps::ZERO, 0x00, line);
+        s.write(Ps::from_us(1), 0x40, line);
+        let obs = s.obs_mut().unwrap();
+        let names: Vec<&str> = obs.tracer().events().map(|e| e.name).collect();
+        for stage in ["efit_probe", "device_write", "compare_read", "compare", "mapping_update"] {
+            assert!(names.contains(&stage), "missing span {stage}: {names:?}");
+        }
     }
 
     #[test]

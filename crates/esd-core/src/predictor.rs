@@ -22,14 +22,21 @@ pub struct PredictorStats {
 }
 
 impl PredictorStats {
-    /// Accuracy in `[0, 1]`; zero before any outcome is known.
+    /// Total predictions scored.
     #[must_use]
-    pub fn accuracy(&self) -> f64 {
-        let total = self.correct + self.incorrect;
+    pub fn total(&self) -> u64 {
+        self.correct + self.incorrect
+    }
+
+    /// Accuracy in `[0, 1]`, or `None` before any outcome is known — a
+    /// predictor that has never been consulted is not 0% accurate.
+    #[must_use]
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
         if total == 0 {
-            0.0
+            None
         } else {
-            self.correct as f64 / total as f64
+            Some(self.correct as f64 / total as f64)
         }
     }
 }
@@ -135,7 +142,13 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.correct, 2);
         assert_eq!(s.incorrect, 1);
-        assert!((s.accuracy() - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(PredictorStats::default().accuracy(), 0.0);
+        assert_eq!(s.total(), 3);
+        let acc = s.accuracy().expect("outcomes recorded");
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            PredictorStats::default().accuracy(),
+            None,
+            "no predictions yet is not 0% accuracy"
+        );
     }
 }

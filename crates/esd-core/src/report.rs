@@ -1,9 +1,11 @@
 //! Run reports: everything the paper's figures are computed from.
 
+use esd_obs::{EpochSnapshot, Obs};
 use esd_sim::{
     CacheStats, Energy, FaultStats, LatencyHistogram, PcmStats, Ps, WriteLatencyBreakdown,
 };
 
+use crate::predictor::PredictorStats;
 use crate::scheme::{MetadataFootprint, SchemeKind, SchemeStats};
 use crate::scrub::ScrubStats;
 
@@ -37,7 +39,8 @@ pub struct RunReport {
     pub write_latency: LatencyHistogram,
     /// Read latency distribution.
     pub read_latency: LatencyHistogram,
-    /// The four-bucket write-latency decomposition (Figure 17).
+    /// The seven-stage write-latency decomposition (Figure 17). The stages
+    /// partition every write's end-to-end latency exactly.
     pub breakdown: WriteLatencyBreakdown,
     /// Instructions per cycle achieved (Figure 14).
     pub ipc: f64,
@@ -51,6 +54,16 @@ pub struct RunReport {
     pub max_wear: u64,
     /// Fault-injection and scrub accounting (all-zero when disabled).
     pub reliability: ReliabilityReport,
+    /// Periodic time-series snapshots (empty unless the run asked for
+    /// epoch collection via [`crate::RunOptions::epoch_interval`]).
+    pub epochs: Vec<EpochSnapshot>,
+    /// Duplication-predictor accuracy counters, for schemes that predict
+    /// (DeWrite's F2/F4 analysis); `None` for the rest.
+    pub predictor: Option<PredictorStats>,
+    /// The observability collector extracted from the scheme at end of run:
+    /// trace events and the metrics registry. `None` unless the run enabled
+    /// tracing via [`crate::RunOptions::observe`].
+    pub obs: Option<Obs>,
 }
 
 impl RunReport {
@@ -138,6 +151,26 @@ impl RunReport {
                 self.stats.miscorrections,
                 self.stats.efit_fingerprint_drift
             );
+        }
+        if let Some(p) = &self.predictor {
+            match p.accuracy() {
+                Some(acc) => {
+                    let _ = writeln!(
+                        out,
+                        "  predictor: {:.1}% accurate over {} outcomes \
+                         ({} F2/F4 mispredictions charged)",
+                        acc * 100.0,
+                        p.total(),
+                        self.stats.mispredictions
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  predictor: no outcomes recorded");
+                }
+            }
+        }
+        if !self.epochs.is_empty() {
+            let _ = writeln!(out, "  epochs: {} snapshots collected", self.epochs.len());
         }
         if self.reliability.scrub.lines_scanned > 0 {
             let _ = writeln!(
@@ -230,7 +263,23 @@ mod tests {
             metadata: MetadataFootprint::default(),
             max_wear: 1,
             reliability: ReliabilityReport::default(),
+            epochs: Vec::new(),
+            predictor: None,
+            obs: None,
         }
+    }
+
+    #[test]
+    fn summary_surfaces_predictor_accuracy() {
+        let mut r = dummy(SchemeKind::DeWrite, 100, 1.0);
+        assert!(!r.summary().contains("predictor"), "no predictor, no line");
+        r.predictor = Some(PredictorStats {
+            correct: 3,
+            incorrect: 1,
+        });
+        assert!(r.summary().contains("75.0% accurate over 4 outcomes"));
+        r.predictor = Some(PredictorStats::default());
+        assert!(r.summary().contains("no outcomes recorded"));
     }
 
     #[test]

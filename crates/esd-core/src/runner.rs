@@ -5,7 +5,8 @@ use std::error::Error;
 use std::fmt;
 
 use esd_collections::U64Map;
-use esd_sim::{CpuModel, LatencyHistogram, SystemConfig};
+use esd_obs::{EpochSnapshot, Obs};
+use esd_sim::{CpuModel, LatencyHistogram, Ps, SystemConfig};
 use esd_trace::{AccessKind, AppProfile, CacheLine, Trace};
 
 use crate::baseline::Baseline;
@@ -69,6 +70,19 @@ pub struct RunOptions {
     pub scrub_interval: Option<u64>,
     /// Stored lines each scrub tick visits.
     pub scrub_lines_per_tick: usize,
+    /// Install an enabled observability collector into the scheme: trace
+    /// events for every write-path stage, scrub ticks and ECC outcomes,
+    /// plus the metrics registry. The collector is extracted into
+    /// [`RunReport::obs`] at end of run. Off by default — the disabled
+    /// collector compiles to early-return no-ops on the hot path.
+    pub observe: bool,
+    /// Ring-buffer capacity for trace events when `observe` is set
+    /// (`0` selects [`esd_obs::DEFAULT_TRACE_CAPACITY`]). The ring keeps
+    /// the newest events and counts what it dropped.
+    pub trace_capacity: usize,
+    /// Collect a time-series [`EpochSnapshot`] every this many trace
+    /// accesses (`None` disables epoch collection).
+    pub epoch_interval: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -77,8 +91,24 @@ impl Default for RunOptions {
             verify: true,
             scrub_interval: None,
             scrub_lines_per_tick: 1024,
+            observe: false,
+            trace_capacity: 0,
+            epoch_interval: None,
         }
     }
+}
+
+/// Cumulative counters at the previous epoch boundary, so each snapshot
+/// reports per-interval (not since-start) rates.
+#[derive(Debug, Default, Clone, Copy)]
+struct EpochBase {
+    instructions: u64,
+    time: Ps,
+    writes_received: u64,
+    writes_deduplicated: u64,
+    fp_hits: u64,
+    fp_misses: u64,
+    energy_pj: u64,
 }
 
 /// Replays `trace` through `scheme`, optionally verifying every read
@@ -135,6 +165,13 @@ pub fn run_trace_with(
     let mut scrubber = options
         .scrub_interval
         .map(|_| Scrubber::new(options.scrub_lines_per_tick));
+    if options.observe {
+        if let Some(obs) = scheme.obs_mut() {
+            *obs = Obs::enabled(options.trace_capacity);
+        }
+    }
+    let mut epochs: Vec<EpochSnapshot> = Vec::new();
+    let mut epoch_base = EpochBase::default();
 
     for (i, access) in trace.iter().enumerate() {
         cpu.execute(u64::from(access.instruction_gap));
@@ -144,7 +181,10 @@ pub fn run_trace_with(
                 // The scrub runs in the background: it occupies device
                 // banks (delaying demand traffic through the PCM model)
                 // but does not block the core directly.
-                scrubber.tick(scheme.nvmm_mut(), now);
+                let end = scrubber.tick(scheme.nvmm_mut(), now);
+                if let Some(obs) = scheme.obs_mut() {
+                    obs.span("scrub", "scrub_tick", now, end.max(now));
+                }
             }
         }
         match access.kind {
@@ -181,8 +221,34 @@ pub fn run_trace_with(
                 }
             }
         }
+
+        if let Some(n) = options.epoch_interval {
+            let n = n.max(1);
+            if ((i + 1) as u64).is_multiple_of(n) {
+                let snap = epoch_snapshot(
+                    epochs.len() as u64,
+                    (i + 1) as u64,
+                    scheme,
+                    &cpu,
+                    config,
+                    &mut epoch_base,
+                );
+                if let Some(obs) = scheme.obs_mut() {
+                    let t = cpu.now();
+                    obs.counter_sample("epoch", "write_buffer_depth", t, snap.write_buffer_depth as f64);
+                    obs.counter_sample("epoch", "busy_banks", t, snap.busy_banks as f64);
+                    obs.counter_sample("epoch", "ipc", t, snap.ipc);
+                }
+                epochs.push(snap);
+            }
+        }
     }
 
+    let obs = if options.observe {
+        scheme.obs_mut().map(std::mem::take)
+    } else {
+        None
+    };
     Ok(RunReport {
         scheme: scheme.kind(),
         app: trace.name.clone(),
@@ -200,7 +266,58 @@ pub fn run_trace_with(
             faults: scheme.nvmm().medium().fault_stats(),
             scrub: scrubber.map(|s| s.stats()).unwrap_or_default(),
         },
+        epochs,
+        predictor: scheme.predictor_stats(),
+        obs,
     })
+}
+
+/// Builds one per-interval time-series snapshot and advances `base` to the
+/// current cumulative counters.
+fn epoch_snapshot(
+    index: u64,
+    end_access: u64,
+    scheme: &mut dyn DedupScheme,
+    cpu: &CpuModel,
+    config: &SystemConfig,
+    base: &mut EpochBase,
+) -> EpochSnapshot {
+    let now = cpu.now();
+    let stats = scheme.stats();
+    let d_instr = cpu.instructions().saturating_sub(base.instructions);
+    let d_cycles = config.cpu.clock.ps_to_cycles_f64(now.saturating_sub(base.time));
+    let d_writes = stats.writes_received.saturating_sub(base.writes_received);
+    let d_dedup = stats
+        .writes_deduplicated
+        .saturating_sub(base.writes_deduplicated);
+    let (fp_hits, fp_misses) = scheme
+        .fingerprint_cache_stats()
+        .map_or((0, 0), |c| (c.hits, c.misses));
+    let d_fp_hits = fp_hits.saturating_sub(base.fp_hits);
+    let d_fp_lookups = d_fp_hits + fp_misses.saturating_sub(base.fp_misses);
+    let energy_pj = (scheme.nvmm().stats().total_energy() + stats.compute_energy).as_pj();
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let snap = EpochSnapshot {
+        index,
+        end_access,
+        end_time: now,
+        ipc: ratio(d_instr as f64, d_cycles),
+        dedup_rate: ratio(d_dedup as f64, d_writes as f64),
+        fingerprint_hit_rate: ratio(d_fp_hits as f64, d_fp_lookups as f64),
+        write_buffer_depth: cpu.write_buffer_occupancy() as u64,
+        busy_banks: scheme.nvmm().pcm().busy_banks(now) as u64,
+        energy_pj: energy_pj.saturating_sub(base.energy_pj),
+    };
+    *base = EpochBase {
+        instructions: cpu.instructions(),
+        time: now,
+        writes_received: stats.writes_received,
+        writes_deduplicated: stats.writes_deduplicated,
+        fp_hits,
+        fp_misses,
+        energy_pj,
+    };
+    snap
 }
 
 /// Replays an already-generated trace through a fresh scheme of the given
@@ -318,6 +435,66 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.ipc, b.ipc);
         assert_eq!(a.write_latency, b.write_latency);
+    }
+
+    #[test]
+    fn epoch_interval_collects_time_series() {
+        let config = SystemConfig::default();
+        let trace = demo_trace(); // 3000 accesses
+        let options = RunOptions {
+            epoch_interval: Some(500),
+            ..RunOptions::default()
+        };
+        let report = replay_with(SchemeKind::Esd, &trace, &config, &options).unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.index, i as u64);
+            assert_eq!(e.end_access, (i as u64 + 1) * 500);
+            assert!(e.ipc > 0.0, "epoch {i} must show progress");
+            assert!((0.0..=1.0).contains(&e.dedup_rate));
+            assert!((0.0..=1.0).contains(&e.fingerprint_hit_rate));
+        }
+        let times: Vec<_> = report.epochs.iter().map(|e| e.end_time).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "time must advance");
+    }
+
+    #[test]
+    fn observe_extracts_trace_events_and_metrics() {
+        let config = SystemConfig::default();
+        let trace = demo_trace();
+        let options = RunOptions {
+            observe: true,
+            scrub_interval: Some(1_000),
+            epoch_interval: Some(1_000),
+            ..RunOptions::default()
+        };
+        let report = replay_with(SchemeKind::Esd, &trace, &config, &options).unwrap();
+        let obs = report.obs.as_ref().expect("observe=true extracts the collector");
+        let names: Vec<&str> = obs.tracer().events().map(|e| e.name).collect();
+        for expected in ["efit_probe", "device_write", "scrub_tick", "write_buffer_depth"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert!(!obs.registry().is_empty(), "spans must feed the registry");
+        // The run without observability produces the same simulation result.
+        let plain_options = RunOptions {
+            observe: false,
+            ..options
+        };
+        let plain = replay_with(SchemeKind::Esd, &trace, &config, &plain_options).unwrap();
+        assert_eq!(plain.stats, report.stats);
+        assert_eq!(plain.ipc, report.ipc);
+        assert_eq!(plain.write_latency, report.write_latency);
+    }
+
+    #[test]
+    fn dewrite_report_carries_predictor_stats() {
+        let config = SystemConfig::default();
+        let trace = demo_trace();
+        let r = replay(SchemeKind::DeWrite, &trace, &config).unwrap();
+        let p = r.predictor.expect("DeWrite predicts");
+        assert!(p.total() > 0, "outcomes must be scored");
+        let base = replay(SchemeKind::Baseline, &trace, &config).unwrap();
+        assert!(base.predictor.is_none(), "Baseline does not predict");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! address mapping, accounting) they build on.
 
 use esd_crypto::CmeEngine;
+use esd_obs::Obs;
 use esd_sim::{
     Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown,
 };
@@ -249,6 +250,19 @@ pub trait DedupScheme {
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         None
     }
+
+    /// The scheme's observability sink, for the runner to install an
+    /// enabled collector into and to drain at the end of a run. `None`
+    /// means the scheme carries no instrumentation.
+    fn obs_mut(&mut self) -> Option<&mut Obs> {
+        None
+    }
+
+    /// Duplication-predictor accuracy counters, for schemes that predict
+    /// (DeWrite); `None` otherwise.
+    fn predictor_stats(&self) -> Option<crate::predictor::PredictorStats> {
+        None
+    }
 }
 
 /// Shared machinery for the deduplicating schemes: NVMM, encryption engine,
@@ -267,6 +281,9 @@ pub(crate) struct Core {
     /// Finite encryption-counter cache; `None` models always-resident
     /// counters (the paper's assumption).
     pub counters: Option<CounterCache>,
+    /// Observability sink: disabled (a single-branch no-op on every
+    /// record) unless the runner installs an enabled collector.
+    pub obs: Obs,
 }
 
 impl Core {
@@ -285,6 +302,7 @@ impl Core {
             compare_latency: Ps::from_ns(2),
             counters: (config.controller.counter_cache_bytes > 0)
                 .then(|| CounterCache::new(config.controller.counter_cache_bytes)),
+            obs: Obs::disabled(),
         }
     }
 
@@ -347,12 +365,15 @@ impl Core {
             t = counters.access(t, physical, true, &mut self.nvmm);
         }
         if !already_encrypted {
-            t += self.encrypt_latency();
+            let encrypted_at = t + self.encrypt_latency();
+            self.obs.span("write", "encrypt", t, encrypted_at);
+            t = encrypted_at;
         }
         self.charge_crypt_energy();
         let cipher = self.cme.encrypt_line(physical, line.as_bytes());
         let ecc = esd_ecc::encode_line(&cipher).to_u64();
         let completion = self.nvmm.write_line(t, physical, cipher, ecc);
+        self.obs.span("write", "device_write", t, completion.finish);
         let processing_done = self.amt.update(t, logical, physical, &mut self.nvmm);
         self.stats.writes_unique += 1;
         (processing_done, completion.finish, physical)
@@ -375,6 +396,18 @@ impl Core {
             Some(s) => {
                 let pristine = self.nvmm.pristine_line(physical).copied();
                 let decoded = decode_stored(&mut self.stats, &s, pristine.as_ref());
+                match decoded.outcome {
+                    ReadOutcome::Corrected { .. } => {
+                        self.obs.instant("ecc", "ecc_corrected", finish);
+                    }
+                    ReadOutcome::Uncorrectable => {
+                        self.obs.instant("ecc", "ecc_uncorrectable", finish);
+                    }
+                    ReadOutcome::Miscorrected => {
+                        self.obs.instant("ecc", "ecc_miscorrected", finish);
+                    }
+                    ReadOutcome::Clean | ReadOutcome::Unmapped => {}
+                }
                 let plain = decoded.cipher.and_then(|cipher| {
                     self.charge_crypt_energy();
                     self.cme

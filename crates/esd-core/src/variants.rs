@@ -117,7 +117,6 @@ impl DedupScheme for HashDedup {
             .expect("hash fingerprint");
         core.stats.fingerprint_computations += 1;
         core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
-        core.breakdown.fingerprint_compute += Ps::from_ns(cost.latency_ns);
 
         let already_encrypted = self.parallel_encryption;
         let t = if self.parallel_encryption {
@@ -127,10 +126,17 @@ impl DedupScheme for HashDedup {
         } else {
             now + Ps::from_ns(cost.latency_ns)
         };
+        // The whole exposed front end (hash, plus any parallel encryption it
+        // could not hide) is the fingerprint stage of this write.
+        core.breakdown.fingerprint_compute += t.saturating_sub(now);
+        core.obs.span("write", "fingerprint", now, t);
 
         let lookup = self.store.lookup(t, fp, &mut core.nvmm);
-        if lookup.source != LookupSource::Cache {
-            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t);
+        match lookup.source {
+            LookupSource::Cache => {
+                core.breakdown.sram_probe += lookup.done.saturating_sub(t);
+            }
+            _ => core.breakdown.nvmm_lookup += lookup.done.saturating_sub(t),
         }
         let t = lookup.done;
 
@@ -142,6 +148,7 @@ impl DedupScheme for HashDedup {
                     _ => core.stats.dedup_nvmm_filtered += 1,
                 }
                 let done = core.remap_to(t, logical, physical, &mut |_| {});
+                core.breakdown.mapping_update += done.saturating_sub(t);
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -201,6 +208,10 @@ impl DedupScheme for HashDedup {
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
     }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
+    }
 }
 
 /// ESD ablation: ECC fingerprints with a **full** NVMM-backed fingerprint
@@ -238,8 +249,11 @@ impl DedupScheme for EsdFull {
         let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
 
         let lookup = self.store.lookup(now, fp, &mut core.nvmm);
-        if lookup.source != LookupSource::Cache {
-            core.breakdown.nvmm_lookup += lookup.done.saturating_sub(now);
+        match lookup.source {
+            LookupSource::Cache => {
+                core.breakdown.sram_probe += lookup.done.saturating_sub(now);
+            }
+            _ => core.breakdown.nvmm_lookup += lookup.done.saturating_sub(now),
         }
         let mut t = lookup.done;
 
@@ -247,8 +261,11 @@ impl DedupScheme for EsdFull {
             // Verify read, as in real ESD (ECC equality is only similarity).
             let before = t;
             let (finish, verify) = core.read_physical(t, physical);
+            core.breakdown.compare_read += finish.saturating_sub(before);
+            core.obs.span("write", "compare_read", before, finish);
             t = finish + core.compare_latency;
-            core.breakdown.compare_read += t.saturating_sub(before);
+            core.breakdown.compare += core.compare_latency;
+            core.obs.span("write", "compare", finish, t);
             core.stats.compare_reads += 1;
             if verify.ecc_bit_corrections > 0 {
                 // Same accounting as ESD proper: the candidate's stored
@@ -263,6 +280,7 @@ impl DedupScheme for EsdFull {
                     _ => core.stats.dedup_nvmm_filtered += 1,
                 }
                 let done = core.remap_to(t, logical, physical, &mut |_| {});
+                core.breakdown.mapping_update += done.saturating_sub(t);
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -322,6 +340,10 @@ impl DedupScheme for EsdFull {
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
     }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
+    }
 }
 
 /// ESD ablation: skip the byte-by-byte verify read and trust ECC equality.
@@ -359,6 +381,8 @@ impl DedupScheme for EsdNoVerify {
         self.core.stats.writes_received += 1;
         let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
         let t = now + self.core.sram_latency;
+        self.core.breakdown.sram_probe += self.core.sram_latency;
+        self.core.obs.span("write", "efit_probe", now, t);
 
         if let Some(entry) = self.efit.lookup(fp) {
             if entry.refer < REFER_MAX {
@@ -367,6 +391,7 @@ impl DedupScheme for EsdNoVerify {
                 self.core.stats.dedup_cache_filtered += 1;
                 self.efit.bump_ref(fp);
                 let done = self.core.remap_to(t, logical, entry.physical, &mut |_| {});
+                self.core.breakdown.mapping_update += done.saturating_sub(t);
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
@@ -424,6 +449,10 @@ impl DedupScheme for EsdNoVerify {
 
     fn amt_cache_stats(&self) -> Option<esd_sim::CacheStats> {
         Some(self.core.amt.cache_stats())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
+        Some(&mut self.core.obs)
     }
 }
 

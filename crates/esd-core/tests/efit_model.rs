@@ -145,7 +145,8 @@ proptest! {
         }
         let s = p.stats();
         prop_assert_eq!(s.correct + s.incorrect, updates.len() as u64);
-        prop_assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
+        let acc = s.accuracy().expect("at least one update scored");
+        prop_assert!((0.0..=1.0).contains(&acc));
     }
 }
 

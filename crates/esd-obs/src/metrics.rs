@@ -1,0 +1,272 @@
+//! The metrics registry: named counters, gauges and latency histograms.
+//!
+//! Names are `&'static str` and the registry holds a handful of entries,
+//! so lookup is a linear scan over interned pointers — cheaper than
+//! hashing at these sizes and free of dependencies.
+
+use esd_sim::{LatencyHistogram, Ps};
+
+/// Formats a float for JSON: six decimal places, non-finite mapped to 0
+/// (JSON has no NaN/Infinity).
+#[must_use]
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.000000".to_owned()
+    }
+}
+
+/// Escapes and quotes a string for JSON.
+#[must_use]
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A registry of named counters, gauges and log-bucketed latency
+/// histograms.
+///
+/// # Examples
+///
+/// ```
+/// use esd_obs::Registry;
+/// use esd_sim::Ps;
+///
+/// let mut r = Registry::new();
+/// r.counter_add("writes", 2);
+/// r.gauge_set("write_buffer_depth", 3.0);
+/// r.histogram_record("device_write", Ps::from_ns(154));
+/// assert_eq!(r.counter("writes"), Some(2));
+/// assert!(r.to_json().contains("p999_ns"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, LatencyHistogram)>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &'static str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name, n)),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        match self.gauges.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name, value)),
+        }
+    }
+
+    /// Records one latency sample into the histogram `name`.
+    pub fn histogram_record(&mut self, name: &'static str, value: Ps) {
+        match self.histograms.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(value);
+                self.histograms.push((name, h));
+            }
+        }
+    }
+
+    /// The current value of counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| *k == name).map(|&(_, v)| v)
+    }
+
+    /// The current value of gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| *k == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.histograms.iter().find(|(k, _)| *k == name).map(|(_, h)| h)
+    }
+
+    /// All counters, in first-recorded order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// All gauges, in first-recorded order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// All histograms, in first-recorded order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> {
+        self.histograms.iter().map(|(k, h)| (*k, h))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take
+    /// the other's value, histograms merge).
+    pub fn merge(&mut self, other: &Registry) {
+        for &(name, v) in &other.counters {
+            self.counter_add(name, v);
+        }
+        for &(name, v) in &other.gauges {
+            self.gauge_set(name, v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name, h.clone())),
+            }
+        }
+    }
+
+    /// Renders the registry as a JSON object with `counters`, `gauges`
+    /// and `histograms` sections; each histogram reports count, mean and
+    /// the p50/p95/p99/p999 tail in nanoseconds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), json_f64(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), histogram_json(h)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders one histogram's summary (count, mean, p50/p95/p99/p999 in
+/// nanoseconds) as a JSON object.
+#[must_use]
+pub fn histogram_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+         \"p999_ns\":{}}}",
+        h.count(),
+        json_f64(h.mean().as_ns_f64()),
+        json_f64(h.percentile(0.50).as_ns_f64()),
+        json_f64(h.percentile(0.95).as_ns_f64()),
+        json_f64(h.percentile(0.99).as_ns_f64()),
+        json_f64(h.percentile(0.999).as_ns_f64()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.counter_add("scrub_ticks", 1);
+        r.counter_add("scrub_ticks", 2);
+        r.gauge_set("depth", 1.0);
+        r.gauge_set("depth", 4.0);
+        assert_eq!(r.counter("scrub_ticks"), Some(3));
+        assert_eq!(r.gauge("depth"), Some(4.0));
+        assert_eq!(r.counter("missing"), None);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn histograms_record_and_summarize() {
+        let mut r = Registry::new();
+        for ns in [10, 20, 30, 40] {
+            r.histogram_record("lat", Ps::from_ns(ns));
+        }
+        let h = r.histogram("lat").expect("histogram");
+        assert_eq!(h.count(), 4);
+        let json = histogram_json(h);
+        for key in ["count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns"] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("x", 1);
+        b.counter_add("x", 2);
+        b.counter_add("y", 5);
+        b.gauge_set("g", 7.0);
+        a.histogram_record("h", Ps(100));
+        b.histogram_record("h", Ps(300));
+        b.histogram_record("h2", Ps(1));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(3));
+        assert_eq!(a.counter("y"), Some(5));
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_json_is_balanced_and_keyed() {
+        let mut r = Registry::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.5);
+        r.histogram_record("h", Ps(42));
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"c\"", "\"g\"", "\"h\""] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+    }
+
+    #[test]
+    fn json_str_escapes_controls() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_f64(f64::NAN), "0.000000");
+    }
+}

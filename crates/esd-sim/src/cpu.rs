@@ -169,6 +169,16 @@ impl CpuModel {
         }
     }
 
+    /// Write-buffer slots currently occupied: admitted writes whose device
+    /// completion lies in the future of the CPU clock.
+    #[must_use]
+    pub fn write_buffer_occupancy(&self) -> usize {
+        self.write_buffer
+            .iter()
+            .filter(|&&Reverse(release)| Ps(release) > self.now)
+            .count()
+    }
+
     /// Instructions per cycle over the whole run, or zero before any time
     /// has elapsed.
     #[must_use]
@@ -235,6 +245,17 @@ mod tests {
         cpu.admit_write(Ps::from_ns(321));
         assert_eq!(cpu.now(), Ps::ZERO, "eviction posting is asynchronous");
         assert_eq!(cpu.stats().write_stall, Ps::ZERO);
+    }
+
+    #[test]
+    fn write_buffer_occupancy_counts_only_pending_slots() {
+        let mut cpu = cpu();
+        assert_eq!(cpu.write_buffer_occupancy(), 0);
+        cpu.admit_write(Ps::from_ns(10));
+        cpu.admit_write(Ps::from_ns(2_000));
+        assert_eq!(cpu.write_buffer_occupancy(), 2);
+        cpu.execute(24_000); // 2000 cycles = 1us; the 10ns write has drained
+        assert_eq!(cpu.write_buffer_occupancy(), 1);
     }
 
     #[test]

@@ -158,6 +158,12 @@ impl PcmDevice {
         self.bank_busy_until[self.bank_of(line_addr)]
     }
 
+    /// Number of banks still servicing an access at instant `now`.
+    #[must_use]
+    pub fn busy_banks(&self, now: Ps) -> usize {
+        self.bank_busy_until.iter().filter(|&&b| b > now).count()
+    }
+
     /// Performs one 64-byte access, advancing the bank and bus horizons and
     /// charging energy.
     pub fn access(&mut self, now: Ps, line_addr: u64, op: PcmOp, class: AccessClass) -> Completion {

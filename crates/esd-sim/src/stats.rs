@@ -182,47 +182,86 @@ impl LatencyHistogram {
 
 /// The paper's Figure 17 write-latency decomposition: where critical-path
 /// write time goes, by mechanism.
+///
+/// The buckets partition every write's end-to-end latency exactly: for each
+/// write the per-stage attributions sum to `WriteResult::latency`, so the
+/// merged breakdown of a run equals the sum of its write latencies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteLatencyBreakdown {
     /// Time computing fingerprints (SHA-1/MD5/CRC; zero for ECC).
     pub fingerprint_compute: Ps,
+    /// Time probing SRAM-resident fingerprint structures (ESD's EFIT, the
+    /// fingerprint-store cache on a hit).
+    pub sram_probe: Ps,
     /// Time spent looking up fingerprints stored in NVMM.
     pub nvmm_lookup: Ps,
     /// Time reading candidate-duplicate lines back for byte comparison.
     pub compare_read: Ps,
+    /// Exposed byte-comparator time after the candidate line returned.
+    pub compare: Ps,
+    /// Time updating the address-mapping table on a successful
+    /// deduplication (the remap that replaces the device write).
+    pub mapping_update: Ps,
     /// Time writing unique lines (device service incl. queueing) and
     /// encryption exposed on the write path.
     pub unique_write: Ps,
 }
 
 impl WriteLatencyBreakdown {
-    /// Sum of all four buckets.
+    /// Number of buckets.
+    pub const BUCKETS: usize = 7;
+
+    /// Bucket labels, in [`WriteLatencyBreakdown::fractions`] order.
+    pub const NAMES: [&'static str; Self::BUCKETS] = [
+        "fingerprint_compute",
+        "sram_probe",
+        "nvmm_lookup",
+        "compare_read",
+        "compare",
+        "mapping_update",
+        "unique_write",
+    ];
+
+    /// The buckets as an array, in [`WriteLatencyBreakdown::NAMES`] order.
     #[must_use]
-    pub fn total(&self) -> Ps {
-        self.fingerprint_compute + self.nvmm_lookup + self.compare_read + self.unique_write
+    pub fn as_array(&self) -> [Ps; Self::BUCKETS] {
+        [
+            self.fingerprint_compute,
+            self.sram_probe,
+            self.nvmm_lookup,
+            self.compare_read,
+            self.compare,
+            self.mapping_update,
+            self.unique_write,
+        ]
     }
 
-    /// Each bucket as a fraction of the total, in the order
-    /// `(fingerprint, nvmm_lookup, compare_read, unique_write)`.
+    /// Sum of all buckets.
     #[must_use]
-    pub fn fractions(&self) -> [f64; 4] {
+    pub fn total(&self) -> Ps {
+        self.as_array().into_iter().sum()
+    }
+
+    /// Each bucket as a fraction of the total, in
+    /// [`WriteLatencyBreakdown::NAMES`] order.
+    #[must_use]
+    pub fn fractions(&self) -> [f64; Self::BUCKETS] {
         let total = self.total().as_ps();
         if total == 0 {
-            return [0.0; 4];
+            return [0.0; Self::BUCKETS];
         }
-        [
-            self.fingerprint_compute.as_ps() as f64 / total as f64,
-            self.nvmm_lookup.as_ps() as f64 / total as f64,
-            self.compare_read.as_ps() as f64 / total as f64,
-            self.unique_write.as_ps() as f64 / total as f64,
-        ]
+        self.as_array()
+            .map(|bucket| bucket.as_ps() as f64 / total as f64)
     }
 
     /// Adds another breakdown into this one.
     pub fn merge(&mut self, other: &WriteLatencyBreakdown) {
         self.fingerprint_compute += other.fingerprint_compute;
+        self.sram_probe += other.sram_probe;
         self.nvmm_lookup += other.nvmm_lookup;
         self.compare_read += other.compare_read;
+        self.compare += other.compare;
+        self.mapping_update += other.mapping_update;
         self.unique_write += other.unique_write;
     }
 }
@@ -313,17 +352,54 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_percentiles_return_that_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Ps::from_ns(154));
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), Ps::from_ns(154), "q={q}");
+        }
+        assert_eq!(h.min(), Ps::from_ns(154));
+        assert_eq!(h.max(), Ps::from_ns(154));
+        assert_eq!(h.mean(), Ps::from_ns(154));
+    }
+
+    #[test]
     fn breakdown_fractions_sum_to_one() {
         let b = WriteLatencyBreakdown {
             fingerprint_compute: Ps(100),
+            sram_probe: Ps(50),
             nvmm_lookup: Ps(200),
             compare_read: Ps(300),
+            compare: Ps(20),
+            mapping_update: Ps(30),
             unique_write: Ps(400),
         };
-        assert_eq!(b.total(), Ps(1000));
+        assert_eq!(b.total(), Ps(1100));
         let f = b.fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
-        assert!((f[0] - 0.1).abs() < 1e-12);
-        assert_eq!(WriteLatencyBreakdown::default().fractions(), [0.0; 4]);
+        assert!((f[0] - 100.0 / 1100.0).abs() < 1e-12);
+        assert_eq!(
+            WriteLatencyBreakdown::default().fractions(),
+            [0.0; WriteLatencyBreakdown::BUCKETS]
+        );
+        assert_eq!(WriteLatencyBreakdown::NAMES.len(), WriteLatencyBreakdown::BUCKETS);
+    }
+
+    #[test]
+    fn breakdown_merge_adds_every_bucket() {
+        let mut a = WriteLatencyBreakdown::default();
+        let b = WriteLatencyBreakdown {
+            fingerprint_compute: Ps(1),
+            sram_probe: Ps(2),
+            nvmm_lookup: Ps(3),
+            compare_read: Ps(4),
+            compare: Ps(5),
+            mapping_update: Ps(6),
+            unique_write: Ps(7),
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.total(), Ps(56));
+        assert_eq!(a.as_array(), b.as_array().map(|v| v * 2));
     }
 }

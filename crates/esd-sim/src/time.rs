@@ -139,15 +139,31 @@ pub struct Clock {
 impl Clock {
     /// Creates a clock from a frequency in megahertz.
     ///
+    /// The period is rounded to the nearest whole picosecond. Frequencies
+    /// whose rounded period would misrepresent the requested frequency by
+    /// more than 0.25% (relative) are rejected rather than silently
+    /// drifting — `from_mhz(2100)` yields a 476 ps period (+0.04%, fine),
+    /// but e.g. 300 GHz would truncate 3.33 ps to 3 ps (−10%) and panics.
+    ///
     /// # Panics
     ///
-    /// Panics if `mhz` is zero or does not divide 10^6 ps evenly enough to
-    /// give a nonzero period.
+    /// Panics if `mhz` is zero, if the period rounds to zero picoseconds,
+    /// or if the nearest whole-picosecond period deviates from the exact
+    /// period by more than 0.25%.
     #[must_use]
     pub fn from_mhz(mhz: u64) -> Self {
         assert!(mhz > 0, "clock frequency must be nonzero");
-        let cycle_ps = 1_000_000 / mhz;
+        let cycle_ps = (1_000_000 + mhz / 2) / mhz;
         assert!(cycle_ps > 0, "clock frequency too high to represent");
+        // cycle_ps * mhz would be exactly 10^6 for a drift-free period;
+        // bound the relative error at 0.25% (drift/10^6 <= 1/400).
+        let drift = (cycle_ps * mhz).abs_diff(1_000_000);
+        assert!(
+            drift * 400 <= 1_000_000,
+            "clock frequency {mhz} MHz needs a fractional-picosecond period \
+             (nearest whole period drifts {:.3}%)",
+            drift as f64 / 10_000.0
+        );
         Clock { cycle_ps }
     }
 
@@ -207,6 +223,36 @@ mod tests {
         assert_eq!(clock.cycle(), Ps(500));
         assert_eq!(clock.cycles_to_ps(4), Ps::from_ns(2));
         assert!((clock.ps_to_cycles_f64(Ps::from_ns(1)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_mhz_exact_frequencies() {
+        assert_eq!(Clock::from_mhz(2000).cycle(), Ps(500));
+        assert_eq!(Clock::from_mhz(1000).cycle(), Ps(1000));
+        assert_eq!(Clock::from_mhz(4000).cycle(), Ps(250));
+    }
+
+    #[test]
+    fn from_mhz_rounds_to_nearest_within_tolerance() {
+        // 2100 MHz: exact period 476.19 ps; rounds to 476 ps (+0.04%).
+        assert_eq!(Clock::from_mhz(2100).cycle(), Ps(476));
+        // 3000 MHz: exact period 333.33 ps; rounds to 333 ps (+0.1%).
+        assert_eq!(Clock::from_mhz(3000).cycle(), Ps(333));
+        // 2099 MHz: exact period 476.42 ps; rounds to 476 ps, not down to 475.
+        assert_eq!(Clock::from_mhz(2099).cycle(), Ps(476));
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional-picosecond period")]
+    fn from_mhz_rejects_large_drift() {
+        // 300 GHz: exact period 3.33 ps; 3 ps would run 11% fast.
+        let _ = Clock::from_mhz(300_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency must be nonzero")]
+    fn from_mhz_rejects_zero() {
+        let _ = Clock::from_mhz(0);
     }
 
     #[test]

@@ -120,4 +120,63 @@ mod tests {
     fn empty_distribution_panics() {
         let _ = Zipf::new(0, 1.0);
     }
+
+    /// An [`RngCore`] that always yields the same 64-bit word, letting a
+    /// test pin `rng.gen::<f64>()` to an exact unit-interval value.
+    struct FixedBits(u64);
+
+    impl rand::RngCore for FixedBits {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    /// The raw word for which the vendored rand's `Standard` impl for
+    /// `f64` — `(bits >> 11) as f64 / 2^53` — produces exactly `u`.
+    fn bits_for_unit_f64(u: f64) -> u64 {
+        assert!((0.0..1.0).contains(&u));
+        let mantissa = (u * (1u64 << 53) as f64) as u64;
+        mantissa << 11
+    }
+
+    #[test]
+    fn single_item_distribution_always_returns_zero() {
+        let zipf = Zipf::new(1, 1.3);
+        assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+        // Including the extreme draws u = 0 and u = max-representable.
+        assert_eq!(zipf.sample(&mut FixedBits(0)), 0);
+        assert_eq!(zipf.sample(&mut FixedBits(u64::MAX)), 0);
+    }
+
+    #[test]
+    fn draw_exactly_on_cdf_boundary_selects_that_item() {
+        // s = 0 over two items: CDF is [0.5, 1.0].
+        let zipf = Zipf::new(2, 0.0);
+        let mut on_boundary = FixedBits(bits_for_unit_f64(0.5));
+        assert_eq!(zipf.sample(&mut on_boundary), 0, "u == cdf[0] belongs to item 0");
+        let mut below = FixedBits(bits_for_unit_f64(0.5) - (1 << 11));
+        assert_eq!(zipf.sample(&mut below), 0);
+        let mut above = FixedBits(bits_for_unit_f64(0.5) + (1 << 11));
+        assert_eq!(zipf.sample(&mut above), 1);
+    }
+
+    #[test]
+    fn final_cdf_entry_is_exactly_one_and_max_draw_stays_in_range() {
+        for (n, s) in [(1usize, 1.0), (7, 0.8), (1000, 1.2), (12_345, 0.0)] {
+            let zipf = Zipf::new(n, s);
+            // Normalization divides the accumulated total by itself, so the
+            // last entry is exactly 1.0 with no accumulated-rounding slack
+            // for a draw to escape past.
+            assert_eq!(*zipf.cdf.last().expect("non-empty"), 1.0, "n={n} s={s}");
+            // The largest representable draw, (2^53 - 1) / 2^53, must map
+            // to the last item, not index out of bounds.
+            let mut max_draw = FixedBits(u64::MAX);
+            assert_eq!(zipf.sample(&mut max_draw), n - 1, "n={n} s={s}");
+        }
+    }
 }
