@@ -3,7 +3,7 @@
 //! metadata structures, and short end-to-end scheme runs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use esd_collections::U64Map;
+use esd_collections::{ShardedU64Map, U64Map};
 use esd_core::{build_scheme, run_trace, Amt, Efit, EfitPolicy, SchemeKind};
 use esd_crypto::{Aes128, CmeEngine};
 use esd_ecc::{decode_line, encode_line, encode_word, encode_word_ref, EccFingerprint};
@@ -137,6 +137,30 @@ fn bench_structures_vs_reference(c: &mut Criterion) {
         b.iter(|| {
             k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
             map.get(black_box(&(k * 64))).copied()
+        })
+    });
+    // The striped cross-shard dedup directory: probe cost vs the flat map
+    // above, and the barrier-time merge insert against existing keys.
+    group.bench_function("sharded_u64map_get_hit", |b| {
+        let map: ShardedU64Map<u64> = ShardedU64Map::new(64);
+        for i in 0..ENTRIES {
+            map.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            map.get(black_box(k * 64))
+        })
+    });
+    group.bench_function("cross_shard_merge_insert", |b| {
+        let map: ShardedU64Map<u64> = ShardedU64Map::new(64);
+        for i in 0..ENTRIES {
+            map.insert(i * 64, i);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9) % ENTRIES;
+            map.insert_if_absent(black_box(k * 64), 1)
         })
     });
     group.finish();

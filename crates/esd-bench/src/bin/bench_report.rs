@@ -26,10 +26,10 @@ use std::time::Instant;
 
 use esd_bench::report_json::{
     default_report_path, read_previous_accesses_per_second, write_bench_json, BenchExtras,
-    KernelSpeedup, SerialBaseline,
+    KernelSpeedup, SerialBaseline, ShardScaling,
 };
 use esd_bench::Sweep;
-use esd_collections::U64Map;
+use esd_collections::{ShardedU64Map, U64Map};
 use esd_core::SchemeKind;
 use esd_crypto::{Aes128, CmeEngine};
 use esd_ecc::{encode_line, encode_word_ref, LINE_BYTES};
@@ -182,6 +182,55 @@ fn measure_structures() -> Vec<KernelSpeedup> {
         }),
     });
 
+    // Striped concurrent map (the cross-shard dedup directory) vs the flat
+    // single-thread U64Map on the same hit pattern: the per-probe price of
+    // atomically shared state. A speedup below 1 here is expected — it is
+    // the contention/striping cost the sharded engine pays off the hot path.
+    let sharded: ShardedU64Map<u64> = ShardedU64Map::new(64);
+    for i in 0..ENTRIES {
+        sharded.insert(i * 64, i);
+    }
+    let mut k_ref = 0u64;
+    let mut k_fast = 0u64;
+    structures.push(KernelSpeedup {
+        name: "sharded_u64map_get_hit".into(),
+        reference_ns: time_ns(|| {
+            k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(u64_map.get(k_ref * 64));
+        }),
+        fast_ns: time_ns(|| {
+            k_fast = k_fast.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(sharded.get(k_fast * 64));
+        }),
+    });
+
+    // Cross-shard merge: the barrier-time publish drain is one
+    // `insert_if_absent` per published fingerprint, almost always against
+    // an already-present key. Reference is the equivalent probe-then-skip
+    // on the flat map.
+    let mut merge_flat: U64Map<u64> = U64Map::with_capacity(ENTRIES as usize);
+    let merge_sharded: ShardedU64Map<u64> = ShardedU64Map::new(64);
+    for i in 0..ENTRIES {
+        merge_flat.insert(i * 64, i);
+        merge_sharded.insert(i * 64, i);
+    }
+    let mut k_ref = 0u64;
+    let mut k_fast = 0u64;
+    structures.push(KernelSpeedup {
+        name: "cross_shard_merge_insert".into(),
+        reference_ns: time_ns(|| {
+            k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
+            let key = k_ref * 64;
+            if merge_flat.get(key).is_none() {
+                merge_flat.insert(key, 1);
+            }
+        }),
+        fast_ns: time_ns(|| {
+            k_fast = k_fast.wrapping_add(0x9E37_79B9) % ENTRIES;
+            black_box(merge_sharded.insert_if_absent(k_fast * 64, 1));
+        }),
+    });
+
     // CTR decrypt with the keystream pad cache vs without: the read-path /
     // verify-read cost, where the line's counter has not moved since the
     // pad was last expanded.
@@ -259,6 +308,44 @@ fn measure_obs_overhead() -> Vec<KernelSpeedup> {
     }]
 }
 
+/// Times one trace through the bank-sharded replay engine at increasing
+/// worker-thread counts (best of three replays each); `shards = 1` is the
+/// serial baseline the speedups are relative to.
+fn measure_shard_scaling(config: &esd_sim::SystemConfig) -> Vec<ShardScaling> {
+    use esd_core::{effective_shards, replay_with, RunOptions};
+    const ACCESSES: usize = 200_000;
+    let trace = esd_trace::generate_trace(&esd_trace::AppProfile::demo(), 42, ACCESSES);
+    let mut points = Vec::new();
+    let mut serial_wall = f64::INFINITY;
+    for requested in [1u32, 2, 4, 8] {
+        let options = RunOptions {
+            shards: requested,
+            ..RunOptions::default()
+        };
+        let run = || {
+            let t0 = Instant::now();
+            black_box(
+                replay_with(SchemeKind::Esd, &trace, config, &options)
+                    .expect("verified sharded replay"),
+            );
+            t0.elapsed().as_secs_f64()
+        };
+        let _ = run(); // warmup
+        let wall = (0..3).map(|_| run()).fold(f64::INFINITY, f64::min);
+        if requested == 1 {
+            serial_wall = wall;
+        }
+        points.push(ShardScaling {
+            requested_shards: requested,
+            effective_shards: effective_shards(requested, config),
+            wall_seconds: wall,
+            accesses_per_second: ACCESSES as f64 / wall.max(1e-9),
+            speedup_vs_serial: serial_wall / wall.max(1e-9),
+        });
+    }
+    points
+}
+
 fn main() {
     let sweep = Sweep::default();
     let out_path = std::env::var_os("ESD_BENCH_OUT")
@@ -324,6 +411,19 @@ fn main() {
     }
     structures.extend(obs);
 
+    eprintln!("bench_report: intra-run shard scaling ...");
+    let shard_scaling = measure_shard_scaling(&sweep.config);
+    for p in &shard_scaling {
+        eprintln!(
+            "bench_report:   shards {:>2} (effective {:>2}) {:>8.3}s  {:>10.0} acc/s  {:.2}x",
+            p.requested_shards,
+            p.effective_shards,
+            p.wall_seconds,
+            p.accesses_per_second,
+            p.speedup_vs_serial
+        );
+    }
+
     eprintln!("bench_report: serial baseline ...");
     let t0 = Instant::now();
     let serial_rows = sweep.run_serial(&SchemeKind::ALL);
@@ -372,6 +472,7 @@ fn main() {
             serial: Some(SerialBaseline { wall: serial_wall }),
             kernels: &kernels,
             structures: &structures,
+            shard_scaling: &shard_scaling,
             previous_accesses_per_second: previous,
         },
     )

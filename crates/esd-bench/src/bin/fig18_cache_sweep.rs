@@ -6,7 +6,7 @@
 //! plain LRU at every size.
 
 use esd_bench::{format_row, print_figure_header, Sweep};
-use esd_core::{run_trace, DedupScheme, Esd, EfitPolicy};
+use esd_core::{run_trace, Esd, EfitPolicy};
 use esd_trace::{generate_trace, AppProfile};
 
 const SIZES_KB: [u64; 6] = [64, 128, 256, 512, 1024, 2048];
@@ -40,9 +40,10 @@ fn main() {
                 let mut config = sweep.config;
                 config.controller.fingerprint_cache_bytes = kb << 10;
                 let mut scheme = Esd::with_policy(&config, policy);
-                run_trace(&mut scheme, &trace, &config, false).expect("unverified run");
-                sum += scheme
-                    .fingerprint_cache_stats()
+                let report =
+                    run_trace(&mut scheme, &trace, &config, false).expect("unverified run");
+                sum += report
+                    .fingerprint_cache
                     .expect("ESD has an EFIT")
                     .hit_rate();
             }
@@ -67,8 +68,8 @@ fn main() {
             let mut config = sweep.config;
             config.controller.mapping_cache_bytes = kb << 10;
             let mut scheme = Esd::new(&config);
-            run_trace(&mut scheme, &trace, &config, false).expect("unverified run");
-            sum += scheme.amt_cache_stats().expect("ESD has an AMT").hit_rate();
+            let report = run_trace(&mut scheme, &trace, &config, false).expect("unverified run");
+            sum += report.amt_cache.expect("ESD has an AMT").hit_rate();
         }
         let rate = sum / sweep.apps.len() as f64;
         println!(

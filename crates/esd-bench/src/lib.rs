@@ -113,15 +113,25 @@ impl Sweep {
         }
     }
 
+    /// The worker-thread count this sweep was asked for, before clamping to
+    /// the task count: `ESD_THREADS` if set, else the machine's available
+    /// parallelism. Recorded in `BENCH_sweep.json` next to the effective
+    /// count so a sweep that silently fell back to one thread is visible.
+    #[must_use]
+    pub fn requested_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+            .max(1)
+    }
+
     /// The number of worker threads [`Sweep::run`] will use for `n_tasks`
-    /// runnable tasks: `min(n_tasks, cap)` where the cap is `ESD_THREADS`
-    /// (if set) or the machine's available parallelism, and never zero.
+    /// runnable tasks: `min(n_tasks, cap)` where the cap is
+    /// [`Sweep::requested_threads`], and never zero.
     #[must_use]
     pub fn worker_count(&self, n_tasks: usize) -> usize {
-        let cap = self.threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
-        cap.max(1).min(n_tasks.max(1))
+        self.requested_threads().min(n_tasks.max(1))
     }
 
     /// Replays every workload through every scheme, in parallel over
@@ -155,10 +165,18 @@ impl Sweep {
                 rows: Vec::new(),
                 wall: started.elapsed(),
                 threads: 0,
+                requested_threads: self.requested_threads(),
                 tasks: Vec::new(),
             };
         }
+        let requested = self.requested_threads();
         let workers = self.worker_count(n_tasks);
+        if workers < requested {
+            eprintln!(
+                "warning: sweep running on {workers} of {requested} requested worker \
+                 threads (only {n_tasks} runnable tasks)"
+            );
+        }
         let options = self.run_options();
 
         // One shared slot per workload: the first task that needs a trace
@@ -231,6 +249,7 @@ impl Sweep {
             rows,
             wall: started.elapsed(),
             threads: workers,
+            requested_threads: requested,
             tasks,
         }
     }
@@ -306,6 +325,9 @@ pub struct SweepOutcome {
     pub wall: Duration,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Worker threads requested (`ESD_THREADS` or machine parallelism)
+    /// before clamping to the task count.
+    pub requested_threads: usize,
     /// Per-(workload, scheme) replay timings, in row-major sweep order.
     pub tasks: Vec<TaskTiming>,
 }
@@ -467,6 +489,24 @@ mod tests {
         assert_eq!(sweep.worker_count(0), 1);
         sweep.threads = None;
         assert!(sweep.worker_count(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn requested_threads_are_honored_by_the_pool() {
+        // The multithreaded smoke: a sweep that *requests* more than one
+        // worker must actually run on that many — an effective count of 1
+        // here is exactly the silent-serial regression the committed
+        // BENCH_sweep.json once shipped. Thread spawning does not depend on
+        // core count, so this holds even on a single-CPU runner.
+        let mut sweep = small_sweep(vec![AppProfile::demo()]);
+        sweep.threads = Some(4);
+        let outcome = sweep.run_timed(&SchemeKind::ALL); // 4 tasks
+        assert_eq!(outcome.requested_threads, 4);
+        assert_eq!(
+            outcome.threads, 4,
+            "effective threads fell back to {} with 4 requested",
+            outcome.threads
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! Schema v4 adds a `latency` block (per-scheme p50/p95/p99/p999 read and
 //! write latency, merged across all workloads) and an `epoch_series` block
 //! (the first workload's per-scheme time-series snapshots).
+//!
+//! Schema v5 adds `requested_threads` / `effective_threads` (so a sweep
+//! that silently fell back to one worker is visible in the checked-in
+//! report) and a `shard_scaling` block: one trace replayed through the
+//! bank-sharded engine at increasing intra-run worker-thread counts, with
+//! the speedup over the serial (`shards=1`) replay.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -65,6 +71,23 @@ impl KernelSpeedup {
     }
 }
 
+/// One point of the intra-run shard-scaling measurement: a single trace
+/// replayed through the bank-sharded engine at a given worker-thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardScaling {
+    /// Worker threads requested via [`esd_core::RunOptions::shards`].
+    pub requested_shards: u32,
+    /// Worker threads the engine actually ran
+    /// ([`esd_core::effective_shards`]).
+    pub effective_shards: u32,
+    /// Best-of-several replay wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Replay throughput in trace accesses per second.
+    pub accesses_per_second: f64,
+    /// Wall-clock improvement over the `shards = 1` replay of this series.
+    pub speedup_vs_serial: f64,
+}
+
 /// Optional measurements accompanying the sweep in the report.
 #[derive(Debug, Clone, Default)]
 pub struct BenchExtras<'a> {
@@ -75,6 +98,8 @@ pub struct BenchExtras<'a> {
     /// Metadata structures (LRU, open-addressed table, pad cache) vs the
     /// map-based / uncached implementations they replaced.
     pub structures: &'a [KernelSpeedup],
+    /// Intra-run bank-sharded replay at increasing thread counts.
+    pub shard_scaling: &'a [ShardScaling],
     /// `accesses_per_second` of the previously checked-in report, for the
     /// end-to-end before/after delta.
     pub previous_accesses_per_second: Option<f64>,
@@ -100,12 +125,21 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v4"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v5"));
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
     push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
-    // The worker count the pool actually ran with (after clamping to the
-    // task count and machine parallelism), not the requested cap.
+    // Both the requested cap (`ESD_THREADS` or machine parallelism) and the
+    // count the pool actually ran with, so a silent serial fallback is
+    // auditable from the checked-in report. `threads` repeats the effective
+    // count for pre-v5 readers.
+    push_kv(
+        &mut out,
+        1,
+        "requested_threads",
+        &outcome.requested_threads.to_string(),
+    );
+    push_kv(&mut out, 1, "effective_threads", &outcome.threads.to_string());
     push_kv(&mut out, 1, "threads", &outcome.threads.to_string());
     push_kv(
         &mut out,
@@ -157,6 +191,7 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
         };
         push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
     }
+    push_shard_scaling(&mut out, extras.shard_scaling);
     push_reliability(&mut out, sweep, outcome);
     push_latency(&mut out, sweep, outcome);
     push_epoch_series(&mut out, outcome);
@@ -321,6 +356,33 @@ fn push_epoch_series(out: &mut String, outcome: &SweepOutcome) {
     out.push_str("  ],\n");
 }
 
+/// The `shard_scaling` block: the bank-sharded engine's single-trace
+/// speedup curve.
+fn push_shard_scaling(out: &mut String, items: &[ShardScaling]) {
+    if items.is_empty() {
+        return;
+    }
+    out.push_str("  \"shard_scaling\": [\n");
+    for (i, p) in items.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"requested_shards\": {}, \"effective_shards\": {}, \"wall_seconds\": {}, \
+             \"accesses_per_second\": {}, \"speedup_vs_serial\": {}",
+            p.requested_shards,
+            p.effective_shards,
+            json_f64(p.wall_seconds),
+            json_f64(p.accesses_per_second),
+            json_f64(p.speedup_vs_serial)
+        ));
+        out.push('}');
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+}
+
 fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[KernelSpeedup]) {
     if items.is_empty() {
         return;
@@ -406,6 +468,13 @@ mod tests {
             reference_ns: 50.0,
             fast_ns: 10.0,
         }];
+        let shard_scaling = [ShardScaling {
+            requested_shards: 4,
+            effective_shards: 4,
+            wall_seconds: 0.25,
+            accesses_per_second: 2_000_000.0,
+            speedup_vs_serial: 3.2,
+        }];
         assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
         let json = render_bench_json(
             &sweep,
@@ -416,10 +485,16 @@ mod tests {
                 }),
                 kernels: &kernels,
                 structures: &structures,
+                shard_scaling: &shard_scaling,
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v4\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v5\""));
+        assert!(json.contains("\"requested_threads\""));
+        assert!(json.contains("\"effective_threads\""));
+        assert!(json.contains("\"shard_scaling\": ["));
+        assert!(json.contains("\"requested_shards\": 4"));
+        assert!(json.contains("\"speedup_vs_serial\": 3.200000"));
         assert!(json.contains("\"accesses_per_task\": 500"));
         assert!(json.contains("\"reliability\": {"));
         assert!(json.contains("\"latency\": {"));
@@ -460,6 +535,7 @@ mod tests {
         assert!(!json.contains("parallel_speedup"));
         assert!(!json.contains("kernel_speedups"));
         assert!(!json.contains("structure_speedups"));
+        assert!(!json.contains("shard_scaling"));
         assert!(!json.contains("previous_accesses_per_second"));
     }
 

@@ -11,6 +11,12 @@
 //! esd-cli config
 //! ```
 //!
+//! Parallelism (`run`/`compare`/`replay`): `--shards <threads>` runs the
+//! bank-sharded replay engine on that many worker threads (`0` = all
+//! cores, clamped to the PCM bank count; defaults to the `ESD_SHARDS`
+//! environment variable, else 1). The report is byte-identical at every
+//! thread count.
+//!
 //! Reliability flags: `--rber <flips per 10^12 bit-reads>` enables the
 //! seeded fault injector, `--rber-seed <N>` picks its stream, and
 //! `--scrub-every <accesses>` (with `--scrub-lines <N>` per tick) runs the
@@ -60,6 +66,8 @@ fn usage() -> &'static str {
      esd-cli apps\n  \
      esd-cli config\n\n\
      schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify\n\
+     parallelism (run/compare/replay): [--shards <threads>] (0 = all cores; results\n\
+     \x20                                 are identical at every thread count)\n\
      reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
      \x20                                 [--scrub-every <accesses>] [--scrub-lines N]\n\
      observability (run/replay): [--metrics-json <file>] [--trace-events <file>]\n\
@@ -148,6 +156,28 @@ fn reliability_options(args: &Args, config: &mut SystemConfig) -> Result<RunOpti
         scrub_lines_per_tick: scrub_lines,
         ..RunOptions::default()
     })
+}
+
+/// Applies `--shards`: worker threads for the bank-sharded replay engine.
+/// `0` selects the machine's available parallelism; requests beyond the
+/// PCM bank count are clamped (with a note), since banks are the slice
+/// granularity. The report is identical at every thread count.
+fn shard_options(
+    args: &Args,
+    config: &SystemConfig,
+    options: &mut RunOptions,
+) -> Result<(), String> {
+    options.shards = args
+        .get_parsed_or("shards", options.shards)
+        .map_err(|e| e.to_string())?;
+    let effective = esd_core::effective_shards(options.shards, config);
+    if options.shards > effective {
+        eprintln!(
+            "note: --shards {} clamped to {effective} (PCM has {} banks)",
+            options.shards, config.pcm.banks
+        );
+    }
+    Ok(())
 }
 
 /// Flag names shared by `run` and `replay` for observability outputs.
@@ -243,7 +273,7 @@ fn run_one(
 
 fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
-        &["app", "scheme", "accesses", "seed"][..],
+        &["app", "scheme", "accesses", "seed", "shards"][..],
         &RELIABILITY_FLAGS[..],
         &OBS_FLAGS[..],
     ]
@@ -255,6 +285,7 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
+    shard_options(&args, &config, &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
     let report = run_one(kind, &trace, &config, &options)?;
@@ -264,15 +295,19 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
-    let allowed: Vec<&str> =
-        [&["app", "accesses", "seed", "extended"][..], &RELIABILITY_FLAGS[..]].concat();
+    let allowed: Vec<&str> = [
+        &["app", "accesses", "seed", "extended", "shards"][..],
+        &RELIABILITY_FLAGS[..],
+    ]
+    .concat();
     let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let app = app_by_name(args.get_or("app", "demo"))?;
     let accesses = args.get_parsed_or("accesses", 100_000usize).map_err(|e| e.to_string())?;
     let seed = args.get_parsed_or("seed", 42u64).map_err(|e| e.to_string())?;
     let extended: bool = args.get_parsed_or("extended", false).map_err(|e| e.to_string())?;
     let mut config = SystemConfig::default();
-    let options = reliability_options(&args, &mut config)?;
+    let mut options = reliability_options(&args, &mut config)?;
+    shard_options(&args, &config, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
 
     let schemes: &[SchemeKind] = if extended {
@@ -363,7 +398,7 @@ fn cmd_analyze(rest: Vec<String>) -> Result<(), String> {
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> =
-        [&["scheme"][..], &RELIABILITY_FLAGS[..], &OBS_FLAGS[..]].concat();
+        [&["scheme", "shards"][..], &RELIABILITY_FLAGS[..], &OBS_FLAGS[..]].concat();
     let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let path = args
         .required_positional(0, "<trace-file>")
@@ -372,6 +407,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let trace = load_trace(path)?;
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
+    shard_options(&args, &config, &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());

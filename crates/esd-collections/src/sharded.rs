@@ -1,0 +1,236 @@
+//! A lock-striped `u64 → V` map for cross-shard lookups.
+//!
+//! The sharded replay engine keeps one global *dedup directory* (fingerprint
+//! → owning shard + content) that every shard probes on its write path but
+//! that is only mutated at epoch barriers. A single `Mutex<U64Map>` would
+//! serialize those probes; [`ShardedU64Map`] splits the key space over a
+//! power-of-two number of independently locked stripes so concurrent readers
+//! of different stripes never contend, and readers of the same stripe only
+//! share a reader-writer lock in read mode.
+//!
+//! Determinism: stripe selection depends only on the key (same multiply-xor
+//! hash as [`U64Map`](crate::U64Map), no per-process seeding), and the map
+//! exposes copy-out reads rather than references, so the data structure
+//! itself never makes results depend on thread interleaving — only on the
+//! order of `insert` calls, which the replay engine serializes at barriers.
+
+use std::sync::RwLock;
+
+use crate::fx::hash_u64;
+use crate::map::U64Map;
+
+/// A concurrent `u64 → V` map striped over independently locked segments.
+///
+/// Reads (`get`, `contains_key`) take one stripe's lock in shared mode and
+/// copy the value out; writes (`insert`) take it exclusively. The stripe for
+/// a key is a pure function of the key, so placement is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use esd_collections::ShardedU64Map;
+/// let map: ShardedU64Map<u64> = ShardedU64Map::new(8);
+/// assert_eq!(map.insert(0x40, 7), None);
+/// assert_eq!(map.get(0x40), Some(7));
+/// assert_eq!(map.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedU64Map<V> {
+    stripes: Vec<RwLock<U64Map<V>>>,
+    mask: usize,
+}
+
+impl<V> ShardedU64Map<V> {
+    /// Creates a map with at least `stripes` segments (rounded up to a
+    /// power of two, minimum 1).
+    #[must_use]
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        ShardedU64Map {
+            stripes: (0..n).map(|_| RwLock::new(U64Map::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of stripes (always a power of two).
+    #[must_use]
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe index a key maps to. Uses the *high* hash bits so stripe
+    /// choice stays independent of the slot index each stripe's `U64Map`
+    /// derives from the low bits.
+    #[inline]
+    fn stripe_of(&self, key: u64) -> usize {
+        (hash_u64(key) >> 32) as usize & self.mask
+    }
+
+    /// Total entries across all stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stripe lock was poisoned by a panicking writer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().expect("stripe lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether no stripe holds any entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stripe lock was poisoned by a panicking writer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stripes
+            .iter()
+            .all(|s| s.read().expect("stripe lock poisoned").is_empty())
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe lock was poisoned by a panicking writer.
+    #[must_use]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.stripes[self.stripe_of(key)]
+            .read()
+            .expect("stripe lock poisoned")
+            .contains_key(key)
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe lock was poisoned by a panicking writer.
+    pub fn insert(&self, key: u64, value: V) -> Option<V> {
+        self.stripes[self.stripe_of(key)]
+            .write()
+            .expect("stripe lock poisoned")
+            .insert(key, value)
+    }
+
+    /// Removes every entry from every stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stripe lock was poisoned by a panicking writer.
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.write().expect("stripe lock poisoned").clear();
+        }
+    }
+}
+
+impl<V: Clone> ShardedU64Map<V> {
+    /// A copy of the value for `key`. Copy-out (rather than handing back a
+    /// reference) keeps the lock hold time to one probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe lock was poisoned by a panicking writer.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.stripes[self.stripe_of(key)]
+            .read()
+            .expect("stripe lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `key → value` only if absent, returning whether it was
+    /// inserted. This is the directory's first-writer-wins primitive: the
+    /// check and the insert happen under one exclusive stripe lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe lock was poisoned by a panicking writer.
+    pub fn insert_if_absent(&self, key: u64, value: V) -> bool {
+        let mut stripe = self.stripes[self.stripe_of(key)]
+            .write()
+            .expect("stripe lock poisoned");
+        if stripe.contains_key(key) {
+            false
+        } else {
+            stripe.insert(key, value);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip_across_stripes() {
+        let map: ShardedU64Map<u64> = ShardedU64Map::new(4);
+        for key in 0..1000u64 {
+            assert_eq!(map.insert(key * 64, key), None);
+        }
+        assert_eq!(map.len(), 1000);
+        for key in 0..1000u64 {
+            assert_eq!(map.get(key * 64), Some(key), "key {key}");
+        }
+        assert!(map.contains_key(0));
+        assert!(!map.contains_key(1));
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedU64Map::<u64>::new(0).stripe_count(), 1);
+        assert_eq!(ShardedU64Map::<u64>::new(3).stripe_count(), 4);
+        assert_eq!(ShardedU64Map::<u64>::new(8).stripe_count(), 8);
+    }
+
+    #[test]
+    fn insert_if_absent_is_first_writer_wins() {
+        let map: ShardedU64Map<u64> = ShardedU64Map::new(2);
+        assert!(map.insert_if_absent(7, 1));
+        assert!(!map.insert_if_absent(7, 2));
+        assert_eq!(map.get(7), Some(1), "first value survives");
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_every_stripe() {
+        let map: ShardedU64Map<u64> = ShardedU64Map::new(4);
+        for key in 0..100 {
+            map.insert(key, key);
+        }
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.get(5), None);
+    }
+
+    #[test]
+    fn concurrent_readers_see_published_entries() {
+        use std::sync::Arc;
+        let map: Arc<ShardedU64Map<u64>> = Arc::new(ShardedU64Map::new(8));
+        for key in 0..512u64 {
+            map.insert(key, key * 2);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let map = Arc::clone(&map);
+                scope.spawn(move || {
+                    for key in 0..512u64 {
+                        assert_eq!(map.get(key), Some(key * 2));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sharded_map_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedU64Map<u64>>();
+    }
+}

@@ -11,7 +11,8 @@ use esd_trace::CacheLine;
 
 use crate::fpstore::{FingerprintStore, LookupSource};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
+    ShardCtx, WriteResult,
 };
 
 /// Bytes per stored SHA-1 index entry: 20 B digest + 5 B physical address +
@@ -101,6 +102,13 @@ impl DedupScheme for DedupSha1 {
                 }
             }
             None => {
+                // Sharded runs: another slice may already hold this content.
+                // SHA-1 equality is trusted remotely just as it is locally.
+                if let RemoteProbe::Dedup(result) =
+                    core.try_remote_dedup(now, t, logical, &line, fp, false, &mut |_| {})
+                {
+                    return result;
+                }
                 let before_write = t;
                 let (done, finish, physical) =
                     core.write_unique(t, logical, &line, false, &mut |_| {});
@@ -109,6 +117,7 @@ impl DedupScheme for DedupSha1 {
                 // Figure 19 charges these schemes for).
                 core.alloc.incref(physical);
                 self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.publish(fp, physical, &line);
                 core.breakdown.unique_write += finish.saturating_sub(before_write);
                 WriteResult {
                     processing_done: done,
@@ -157,6 +166,10 @@ impl DedupScheme for DedupSha1 {
 
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.core.obs)
+    }
+
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        Some(&mut self.core.shard)
     }
 }
 

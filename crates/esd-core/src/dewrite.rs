@@ -22,7 +22,8 @@ use esd_trace::CacheLine;
 use crate::fpstore::{FingerprintStore, LookupSource};
 use crate::predictor::DupPredictor;
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
+    ShardCtx, WriteResult,
 };
 
 /// Bytes per stored CRC index entry (the paper cites 16 B + 3 bits per
@@ -143,6 +144,20 @@ impl DedupScheme for DeWrite {
             // keeps its first owner; this line is stored unindexed.
         }
 
+        // Sharded runs: probe the cross-slice directory. CRC collides
+        // easily, so remote candidates are verified exactly like local ones.
+        match core.try_remote_dedup(now, t, logical, &line, fp, true, &mut |_| {}) {
+            RemoteProbe::Dedup(result) => {
+                if encrypted_speculatively {
+                    core.stats.mispredictions += 1; // F4: wasted encryption
+                }
+                self.predictor.update(logical, true);
+                return result;
+            }
+            RemoteProbe::Collision(resumed) => t = resumed,
+            RemoteProbe::Miss => {}
+        }
+
         // Unique line. If we did not speculatively encrypt (predicted dup),
         // encryption now serializes behind everything else (F2).
         if !encrypted_speculatively && !predicted_dup {
@@ -165,6 +180,7 @@ impl DedupScheme for DeWrite {
             // Index entries pin their lines: full dedup never reclaims.
             core.alloc.incref(physical);
             self.store.insert(done, fp, physical, &mut core.nvmm);
+            core.publish(fp, physical, &line);
         }
         core.breakdown.unique_write += finish.saturating_sub(before_write);
         WriteResult {
@@ -216,6 +232,10 @@ impl DedupScheme for DeWrite {
 
     fn predictor_stats(&self) -> Option<crate::predictor::PredictorStats> {
         Some(self.predictor.stats())
+    }
+
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        Some(&mut self.core.shard)
     }
 }
 

@@ -105,6 +105,12 @@ impl Efit {
         self.decay_interval = interval.max(1);
     }
 
+    /// The current decay interval.
+    #[must_use]
+    pub fn decay_interval(&self) -> u64 {
+        self.decay_interval
+    }
+
     /// Number of entries the SRAM can hold.
     #[must_use]
     pub fn capacity(&self) -> usize {

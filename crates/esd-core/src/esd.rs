@@ -25,7 +25,8 @@ use esd_trace::CacheLine;
 
 use crate::efit::{Efit, EfitPolicy, REFER_MAX};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
+    ShardCtx, WriteResult,
 };
 
 /// The ESD scheme.
@@ -141,6 +142,7 @@ impl Esd {
         let core = &mut self.core;
         let before_write = t;
         let (done, finish, physical) = core.write_unique(t, logical, line, false, &mut |_| {});
+        core.publish(fp, physical, line);
         // The EFIT entry pins its target line (one reference count), so a
         // fingerprint can never point at recycled storage; the pin of any
         // displaced entry is released here.
@@ -175,9 +177,19 @@ impl DedupScheme for Esd {
         let entry = self.efit.lookup(fp);
         match entry {
             None => {
-                // Definitively not deduplicable here: no hash, no NVMM
-                // lookup — straight to encrypt-and-write.
-                self.write_as_unique(now, t, logical, &line, fp)
+                // Definitively not deduplicable *locally*: no hash, no NVMM
+                // lookup. Under sharded replay a sibling slice may still
+                // advertise this content; the probe is a no-op otherwise.
+                match self
+                    .core
+                    .try_remote_dedup(now, t, logical, &line, fp, true, &mut |_| {})
+                {
+                    RemoteProbe::Dedup(result) => result,
+                    RemoteProbe::Collision(t) => {
+                        self.write_as_unique(now, t, logical, &line, fp)
+                    }
+                    RemoteProbe::Miss => self.write_as_unique(now, t, logical, &line, fp),
+                }
             }
             Some(entry) => {
                 // Similar line: verify via read-back (PCM reads are cheap
@@ -202,8 +214,18 @@ impl DedupScheme for Esd {
                 let is_dup = verify.outcome.is_data_valid()
                     && verify.plain.as_ref() == Some(&line);
                 if !is_dup {
-                    // ECC collision: contents differ.
-                    return self.write_as_unique(now, t, logical, &line, fp);
+                    // ECC collision: contents differ locally — a sibling
+                    // slice may still hold the real duplicate.
+                    return match self
+                        .core
+                        .try_remote_dedup(now, t, logical, &line, fp, true, &mut |_| {})
+                    {
+                        RemoteProbe::Dedup(result) => result,
+                        RemoteProbe::Collision(t2) => {
+                            self.write_as_unique(now, t2, logical, &line, fp)
+                        }
+                        RemoteProbe::Miss => self.write_as_unique(now, t, logical, &line, fp),
+                    };
                 }
                 self.core.stats.compare_hits += 1;
 
@@ -267,6 +289,17 @@ impl DedupScheme for Esd {
 
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.core.obs)
+    }
+
+    fn fork_slice(&self, config: &SystemConfig) -> Box<dyn DedupScheme> {
+        let mut fork = Esd::with_policy(config, self.efit.policy());
+        fork.codec = self.codec;
+        fork.efit.set_decay_interval(self.efit.decay_interval());
+        Box::new(fork)
+    }
+
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        Some(&mut self.core.shard)
     }
 }
 

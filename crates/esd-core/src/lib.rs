@@ -59,6 +59,7 @@ mod report;
 mod runner;
 mod scheme;
 mod scrub;
+mod shard;
 mod variants;
 
 pub use alloc::PhysicalAllocator;
@@ -73,11 +74,11 @@ pub use fpstore::{FingerprintStore, FpLookup, LookupSource};
 pub use predictor::{DupPredictor, PredictorStats};
 pub use report::{Normalized, ReliabilityReport, RunReport};
 pub use runner::{
-    build_scheme, replay, replay_with, run_app, run_trace, run_trace_with, RunOptions,
-    VerifyError,
+    build_scheme, effective_shards, replay, replay_with, run_app, run_trace, run_trace_with,
+    RunOptions, VerifyError,
 };
 pub use scheme::{
-    DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind, SchemeStats,
+    DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind, SchemeStats, ShardCtx,
     WriteResult,
 };
 pub use scrub::{ScrubStats, Scrubber};

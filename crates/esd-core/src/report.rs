@@ -52,6 +52,9 @@ pub struct RunReport {
     pub metadata: MetadataFootprint,
     /// Peak per-line write count (endurance hot spot).
     pub max_wear: u64,
+    /// Total Start-Gap wear-leveling rotations performed across the run
+    /// (zero when wear leveling is off).
+    pub wear_moves: u64,
     /// Fault-injection and scrub accounting (all-zero when disabled).
     pub reliability: ReliabilityReport,
     /// Periodic time-series snapshots (empty unless the run asked for
@@ -262,6 +265,7 @@ mod tests {
             amt_cache: None,
             metadata: MetadataFootprint::default(),
             max_wear: 1,
+            wear_moves: 0,
             reliability: ReliabilityReport::default(),
             epochs: Vec::new(),
             predictor: None,

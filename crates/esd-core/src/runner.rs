@@ -4,18 +4,15 @@
 use std::error::Error;
 use std::fmt;
 
-use esd_collections::U64Map;
-use esd_obs::{EpochSnapshot, Obs};
-use esd_sim::{CpuModel, LatencyHistogram, Ps, SystemConfig};
-use esd_trace::{AccessKind, AppProfile, CacheLine, Trace};
+use esd_sim::SystemConfig;
+use esd_trace::{AppProfile, Trace};
 
 use crate::baseline::Baseline;
 use crate::dedup_sha1::DedupSha1;
 use crate::dewrite::DeWrite;
 use crate::esd::Esd;
-use crate::report::{ReliabilityReport, RunReport};
+use crate::report::RunReport;
 use crate::scheme::{DedupScheme, SchemeKind};
-use crate::scrub::Scrubber;
 use crate::variants::{EsdFull, EsdNoVerify, HashDedup};
 
 /// Constructs a scheme of the given kind over a fresh simulated system.
@@ -80,9 +77,16 @@ pub struct RunOptions {
     /// (`0` selects [`esd_obs::DEFAULT_TRACE_CAPACITY`]). The ring keeps
     /// the newest events and counts what it dropped.
     pub trace_capacity: usize,
-    /// Collect a time-series [`EpochSnapshot`] every this many trace
-    /// accesses (`None` disables epoch collection).
+    /// Collect a time-series [`esd_obs::EpochSnapshot`] every this many
+    /// trace accesses (`None` disables epoch collection).
     pub epoch_interval: Option<u64>,
+    /// Worker threads for the bank-sharded replay engine. `0` selects the
+    /// machine's available parallelism; any value is clamped to the PCM
+    /// bank count. This is purely a *scheduling* knob — the simulation is
+    /// always sliced at bank granularity and the resulting [`RunReport`]
+    /// is byte-identical at every thread count. Defaults to the
+    /// `ESD_SHARDS` environment variable (unset → 1).
+    pub shards: u32,
 }
 
 impl Default for RunOptions {
@@ -94,21 +98,33 @@ impl Default for RunOptions {
             observe: false,
             trace_capacity: 0,
             epoch_interval: None,
+            shards: default_shards(),
         }
     }
 }
 
-/// Cumulative counters at the previous epoch boundary, so each snapshot
-/// reports per-interval (not since-start) rates.
-#[derive(Debug, Default, Clone, Copy)]
-struct EpochBase {
-    instructions: u64,
-    time: Ps,
-    writes_received: u64,
-    writes_deduplicated: u64,
-    fp_hits: u64,
-    fp_misses: u64,
-    energy_pj: u64,
+/// The default worker-thread count: the `ESD_SHARDS` environment variable
+/// when set to a valid integer, else 1 (single-threaded).
+fn default_shards() -> u32 {
+    std::env::var("ESD_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested shard (worker-thread) count: `0` selects the
+/// machine's available parallelism, and the result is clamped to the PCM
+/// bank count — the engine's slice granularity, beyond which extra threads
+/// would have nothing to own.
+#[must_use]
+pub fn effective_shards(requested: u32, config: &SystemConfig) -> u32 {
+    let banks = config.pcm.banks.max(1);
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
+    } else {
+        requested
+    };
+    requested.min(banks)
 }
 
 /// Replays `trace` through `scheme`, optionally verifying every read
@@ -139,185 +155,30 @@ pub fn run_trace(
 /// plus an optional interleaved background scrubber, whose PCM traffic and
 /// repairs land in the report's `reliability` block.
 ///
+/// Replay always runs on the bank-sharded engine: the trace is split by
+/// PCM bank into `config.pcm.banks` slices, each simulated by its own
+/// scheme instance over a one-bank slice of the system, on
+/// [`RunOptions::shards`] worker threads. The passed `scheme` acts as a
+/// **template**: it supplies the scheme kind and construction-time knobs
+/// through [`DedupScheme::fork_slice`] and is not itself driven — inspect
+/// the returned [`RunReport`] (e.g. [`RunReport::fingerprint_cache`])
+/// rather than the scheme object after the run.
+///
 /// # Errors
 ///
 /// With `options.verify` set, returns [`VerifyError`] if any read the
 /// scheme presents as valid differs from the most recent write to that
-/// logical address. Reads flagged uncorrectable or miscorrected are
-/// surfaced through [`crate::SchemeStats`], not as errors.
+/// logical address (the earliest offending access across all slices).
+/// Reads flagged uncorrectable or miscorrected are surfaced through
+/// [`crate::SchemeStats`], not as errors.
 pub fn run_trace_with(
     scheme: &mut dyn DedupScheme,
     trace: &Trace,
     config: &SystemConfig,
     options: &RunOptions,
 ) -> Result<RunReport, VerifyError> {
-    let verify = options.verify;
-    let mut cpu = CpuModel::new(config.cpu, config.controller.write_buffer_depth);
-    let mut write_latency = LatencyHistogram::new();
-    let mut read_latency = LatencyHistogram::new();
-    // Pre-size from the trace: at most one shadow entry per written address,
-    // so the open-addressed table never rehashes mid-replay.
-    let mut shadow: U64Map<CacheLine> = if verify {
-        U64Map::with_capacity(trace.write_count())
-    } else {
-        U64Map::new()
-    };
-    let mut scrubber = options
-        .scrub_interval
-        .map(|_| Scrubber::new(options.scrub_lines_per_tick));
-    if options.observe {
-        if let Some(obs) = scheme.obs_mut() {
-            *obs = Obs::enabled(options.trace_capacity);
-        }
-    }
-    let mut epochs: Vec<EpochSnapshot> = Vec::new();
-    let mut epoch_base = EpochBase::default();
-
-    for (i, access) in trace.iter().enumerate() {
-        cpu.execute(u64::from(access.instruction_gap));
-        let now = cpu.now();
-        if let (Some(scrubber), Some(interval)) = (scrubber.as_mut(), options.scrub_interval) {
-            if (i as u64).is_multiple_of(interval.max(1)) && i > 0 {
-                // The scrub runs in the background: it occupies device
-                // banks (delaying demand traffic through the PCM model)
-                // but does not block the core directly.
-                let end = scrubber.tick(scheme.nvmm_mut(), now);
-                if let Some(obs) = scheme.obs_mut() {
-                    obs.span("scrub", "scrub_tick", now, end.max(now));
-                }
-            }
-        }
-        match access.kind {
-            AccessKind::Write => {
-                let line = access.data.expect("write carries data");
-                let result = scheme.write(now, access.addr, line);
-                write_latency.record(result.latency);
-                let release = result
-                    .device_finish
-                    .map_or(result.processing_done, |f| f.max(result.processing_done));
-                cpu.admit_write(release);
-                if verify {
-                    shadow.insert(access.addr, line);
-                }
-            }
-            AccessKind::Read => {
-                let result = scheme.read(now, access.addr);
-                read_latency.record(result.finish.saturating_sub(now));
-                cpu.complete_read(result.finish);
-                // Reads the scheme flags as uncorrectable or miscorrected
-                // are reported data loss (counted in SchemeStats with their
-                // blast radius), not a silent-corruption bug — only reads
-                // presented as valid must match the shadow copy.
-                if verify && result.outcome.is_data_valid() {
-                    if let Some(expected) = shadow.get(access.addr) {
-                        if *expected != result.data {
-                            return Err(VerifyError {
-                                scheme: scheme.kind(),
-                                addr: access.addr,
-                                access_index: i,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        if let Some(n) = options.epoch_interval {
-            let n = n.max(1);
-            if ((i + 1) as u64).is_multiple_of(n) {
-                let snap = epoch_snapshot(
-                    epochs.len() as u64,
-                    (i + 1) as u64,
-                    scheme,
-                    &cpu,
-                    config,
-                    &mut epoch_base,
-                );
-                if let Some(obs) = scheme.obs_mut() {
-                    let t = cpu.now();
-                    obs.counter_sample("epoch", "write_buffer_depth", t, snap.write_buffer_depth as f64);
-                    obs.counter_sample("epoch", "busy_banks", t, snap.busy_banks as f64);
-                    obs.counter_sample("epoch", "ipc", t, snap.ipc);
-                }
-                epochs.push(snap);
-            }
-        }
-    }
-
-    let obs = if options.observe {
-        scheme.obs_mut().map(std::mem::take)
-    } else {
-        None
-    };
-    Ok(RunReport {
-        scheme: scheme.kind(),
-        app: trace.name.clone(),
-        stats: scheme.stats(),
-        pcm: *scheme.nvmm().stats(),
-        write_latency,
-        read_latency,
-        breakdown: scheme.breakdown(),
-        ipc: cpu.ipc(),
-        fingerprint_cache: scheme.fingerprint_cache_stats(),
-        amt_cache: scheme.amt_cache_stats(),
-        metadata: scheme.metadata_footprint(),
-        max_wear: scheme.nvmm().medium().max_wear(),
-        reliability: ReliabilityReport {
-            faults: scheme.nvmm().medium().fault_stats(),
-            scrub: scrubber.map(|s| s.stats()).unwrap_or_default(),
-        },
-        epochs,
-        predictor: scheme.predictor_stats(),
-        obs,
-    })
-}
-
-/// Builds one per-interval time-series snapshot and advances `base` to the
-/// current cumulative counters.
-fn epoch_snapshot(
-    index: u64,
-    end_access: u64,
-    scheme: &mut dyn DedupScheme,
-    cpu: &CpuModel,
-    config: &SystemConfig,
-    base: &mut EpochBase,
-) -> EpochSnapshot {
-    let now = cpu.now();
-    let stats = scheme.stats();
-    let d_instr = cpu.instructions().saturating_sub(base.instructions);
-    let d_cycles = config.cpu.clock.ps_to_cycles_f64(now.saturating_sub(base.time));
-    let d_writes = stats.writes_received.saturating_sub(base.writes_received);
-    let d_dedup = stats
-        .writes_deduplicated
-        .saturating_sub(base.writes_deduplicated);
-    let (fp_hits, fp_misses) = scheme
-        .fingerprint_cache_stats()
-        .map_or((0, 0), |c| (c.hits, c.misses));
-    let d_fp_hits = fp_hits.saturating_sub(base.fp_hits);
-    let d_fp_lookups = d_fp_hits + fp_misses.saturating_sub(base.fp_misses);
-    let energy_pj = (scheme.nvmm().stats().total_energy() + stats.compute_energy).as_pj();
-    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
-    let snap = EpochSnapshot {
-        index,
-        end_access,
-        end_time: now,
-        ipc: ratio(d_instr as f64, d_cycles),
-        dedup_rate: ratio(d_dedup as f64, d_writes as f64),
-        fingerprint_hit_rate: ratio(d_fp_hits as f64, d_fp_lookups as f64),
-        write_buffer_depth: cpu.write_buffer_occupancy() as u64,
-        busy_banks: scheme.nvmm().pcm().busy_banks(now) as u64,
-        energy_pj: energy_pj.saturating_sub(base.energy_pj),
-    };
-    *base = EpochBase {
-        instructions: cpu.instructions(),
-        time: now,
-        writes_received: stats.writes_received,
-        writes_deduplicated: stats.writes_deduplicated,
-        fp_hits,
-        fp_misses,
-        energy_pj,
-    };
-    snap
+    let threads = effective_shards(options.shards, config) as usize;
+    crate::shard::run_sharded(scheme, trace, config, options, threads)
 }
 
 /// Replays an already-generated trace through a fresh scheme of the given

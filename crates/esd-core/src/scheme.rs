@@ -2,6 +2,9 @@
 //! DeWrite and ESD, plus the common machinery (encryption, allocation,
 //! address mapping, accounting) they build on.
 
+use std::sync::Arc;
+
+use esd_collections::{ShardedU64Map, U64Map};
 use esd_crypto::CmeEngine;
 use esd_obs::Obs;
 use esd_sim::{
@@ -211,11 +214,76 @@ impl MetadataFootprint {
     }
 }
 
+/// Marker physical address meaning "this logical line deduplicated onto a
+/// line owned by another replay slice". Never produced by
+/// [`PhysicalAllocator`]; mapping-release and read paths special-case it so
+/// it can never reach the reference counter or the medium.
+pub(crate) const REMOTE_SENTINEL: u64 = u64::MAX;
+
+/// One advertisement in the cross-slice dedup directory: a slice that wrote
+/// `line` as unique at `physical` offers it as a dedup target to the other
+/// slices. The owner pins `physical` with one reference count for the rest
+/// of the run, so the advertised plaintext can never be recycled under a
+/// remote sharer.
+#[derive(Debug, Clone)]
+pub(crate) struct RemoteEntry {
+    /// Replay slice that owns the physical line.
+    pub owner: u32,
+    /// The advertised plaintext, byte-compared by verifying remote probes.
+    pub line: CacheLine,
+}
+
+/// Per-slice handle onto the sharded replay engine's shared state.
+///
+/// The engine installs one into each slice's scheme (via
+/// [`DedupScheme::shard_slot`]) before replay. It carries the slice's
+/// identity, a read-only view of the cross-slice dedup directory (only
+/// mutated at epoch barriers, so hot-path probes never contend with
+/// writers), the slice's outgoing publish queue (drained by the engine at
+/// each barrier), and the plaintext mirror for logical lines this slice has
+/// deduplicated onto remote physical lines.
+#[derive(Debug)]
+pub struct ShardCtx {
+    pub(crate) slice: u32,
+    pub(crate) directory: Arc<ShardedU64Map<RemoteEntry>>,
+    pub(crate) publishes: Vec<(u64, RemoteEntry)>,
+    pub(crate) remote_lines: U64Map<CacheLine>,
+}
+
+impl ShardCtx {
+    pub(crate) fn new(slice: u32, directory: Arc<ShardedU64Map<RemoteEntry>>) -> Self {
+        ShardCtx {
+            slice,
+            directory,
+            publishes: Vec::new(),
+            remote_lines: U64Map::new(),
+        }
+    }
+}
+
+/// Outcome of probing the cross-slice dedup directory on the write path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RemoteProbe {
+    /// No usable remote candidate (no shard context, fingerprint absent,
+    /// the entry is this slice's own, or a trust-mode content mismatch).
+    /// Nothing was charged; the caller proceeds as if never probing.
+    Miss,
+    /// A cross-slice duplicate: the remap is complete and the result is
+    /// final.
+    Dedup(WriteResult),
+    /// The verify read found different bytes — a fingerprint collision
+    /// across slices. The compare read and comparator time were charged;
+    /// the caller resumes its unique-write path at the returned instant.
+    Collision(Ps),
+}
+
 /// A complete write-path scheme over the simulated NVMM.
 ///
 /// Implementations own their simulator instance; the trace runner drives
 /// [`DedupScheme::write`] / [`DedupScheme::read`] in program order.
-pub trait DedupScheme {
+/// Schemes are `Send` so the sharded replay engine can move per-slice
+/// instances onto worker threads.
+pub trait DedupScheme: Send {
     /// Which scheme this is.
     fn kind(&self) -> SchemeKind;
 
@@ -263,6 +331,23 @@ pub trait DedupScheme {
     fn predictor_stats(&self) -> Option<crate::predictor::PredictorStats> {
         None
     }
+
+    /// Builds a fresh instance of this scheme over `config`, carrying the
+    /// template's constructor-level knobs (e.g. ESD's EFIT replacement
+    /// policy and decay interval) that the plain [`crate::build_scheme`]
+    /// factory would not know about. The sharded replay engine forks one
+    /// instance per slice from the caller's scheme.
+    fn fork_slice(&self, config: &SystemConfig) -> Box<dyn DedupScheme> {
+        crate::runner::build_scheme(self.kind(), config)
+    }
+
+    /// The slot the sharded replay engine installs a [`ShardCtx`] into.
+    /// `None` (the default) opts the scheme out of cross-slice
+    /// deduplication: its slices then only ever deduplicate within their
+    /// own bank partition.
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        None
+    }
 }
 
 /// Shared machinery for the deduplicating schemes: NVMM, encryption engine,
@@ -284,6 +369,9 @@ pub(crate) struct Core {
     /// Observability sink: disabled (a single-branch no-op on every
     /// record) unless the runner installs an enabled collector.
     pub obs: Obs,
+    /// Cross-slice dedup context; `None` outside the sharded replay
+    /// engine (then all remote paths are dead code).
+    pub shard: Option<ShardCtx>,
 }
 
 impl Core {
@@ -303,6 +391,7 @@ impl Core {
             counters: (config.controller.counter_cache_bytes > 0)
                 .then(|| CounterCache::new(config.controller.counter_cache_bytes)),
             obs: Obs::disabled(),
+            shard: None,
         }
     }
 
@@ -326,7 +415,19 @@ impl Core {
         on_free: &mut dyn FnMut(u64),
     ) {
         if let Some(old) = self.amt.peek(logical) {
-            if Some(old) != keep_physical && self.alloc.decref(old) {
+            if Some(old) == keep_physical {
+                return;
+            }
+            if old == REMOTE_SENTINEL {
+                // The old mapping pointed at another slice's line: drop the
+                // plaintext mirror. The remote physical stays pinned by its
+                // owner's directory entry, never by this slice's refcounts.
+                if let Some(ctx) = self.shard.as_mut() {
+                    ctx.remote_lines.remove(logical);
+                }
+                return;
+            }
+            if self.alloc.decref(old) {
                 on_free(old);
             }
         }
@@ -344,6 +445,134 @@ impl Core {
         self.alloc.incref(physical);
         self.release_old_mapping(logical, Some(physical), on_free);
         self.amt.update(t, logical, physical, &mut self.nvmm)
+    }
+
+    /// Remaps `logical` onto a line owned by another replay slice: installs
+    /// the [`REMOTE_SENTINEL`] in the AMT and mirrors the plaintext so
+    /// demand reads can be served without touching the remote slice's
+    /// simulator. Returns the completion time of the mapping update.
+    fn remap_remote(
+        &mut self,
+        t: Ps,
+        logical: u64,
+        line: CacheLine,
+        on_free: &mut dyn FnMut(u64),
+    ) -> Ps {
+        if self.amt.peek(logical) == Some(REMOTE_SENTINEL) {
+            // Already remote: refresh the mirrored plaintext in place.
+            self.shard
+                .as_mut()
+                .expect("remote remap requires a shard context")
+                .remote_lines
+                .insert(logical, line);
+            return t + self.sram_latency;
+        }
+        self.release_old_mapping(logical, None, on_free);
+        let done = self.amt.update(t, logical, REMOTE_SENTINEL, &mut self.nvmm);
+        self.shard
+            .as_mut()
+            .expect("remote remap requires a shard context")
+            .remote_lines
+            .insert(logical, line);
+        done
+    }
+
+    /// Probes the cross-slice dedup directory for `fingerprint` at `t`
+    /// (with the interval `now..t` already charged by the caller).
+    ///
+    /// With `verify_read` set, a matching entry from another slice is
+    /// byte-verified first: one remote read is charged against this slice's
+    /// device statistics (without occupying a local bank) plus the exposed
+    /// comparator time, and a mismatch returns
+    /// [`RemoteProbe::Collision`] with those charges kept, so the latency
+    /// buckets still partition the write exactly. Without `verify_read`
+    /// (hash-fingerprint schemes that trust equality), a mismatch is
+    /// reported as a plain [`RemoteProbe::Miss`] and nothing is charged —
+    /// the plaintext compare is the simulator's free correctness guard
+    /// against cross-slice hash collisions, mirroring the trust those
+    /// schemes place in their local stores.
+    ///
+    /// Remote deduplications count as `dedup_cache_filtered`: the directory
+    /// is a controller-level structure and no NVMM fingerprint store is
+    /// consulted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_remote_dedup(
+        &mut self,
+        now: Ps,
+        t: Ps,
+        logical: u64,
+        line: &CacheLine,
+        fingerprint: u64,
+        verify_read: bool,
+        on_free: &mut dyn FnMut(u64),
+    ) -> RemoteProbe {
+        let entry = {
+            let Some(ctx) = self.shard.as_ref() else {
+                return RemoteProbe::Miss;
+            };
+            let Some(entry) = ctx.directory.get(fingerprint) else {
+                return RemoteProbe::Miss;
+            };
+            if entry.owner == ctx.slice {
+                return RemoteProbe::Miss;
+            }
+            entry
+        };
+        let mut t = t;
+        if verify_read {
+            let completion = self.nvmm.charge_remote_read(t);
+            self.stats.compare_reads += 1;
+            self.breakdown.compare_read += completion.finish.saturating_sub(t);
+            self.obs.span("write", "compare_read", t, completion.finish);
+            let compared = completion.finish + self.compare_latency;
+            self.breakdown.compare += self.compare_latency;
+            self.obs.span("write", "compare", completion.finish, compared);
+            if entry.line != *line {
+                return RemoteProbe::Collision(compared);
+            }
+            self.stats.compare_hits += 1;
+            t = compared;
+        } else if entry.line != *line {
+            return RemoteProbe::Miss;
+        }
+        self.stats.writes_deduplicated += 1;
+        self.stats.dedup_cache_filtered += 1;
+        self.obs.counter_add("remote_dedup", 1);
+        let done = self.remap_remote(t, logical, entry.line, on_free);
+        self.breakdown.mapping_update += done.saturating_sub(t);
+        self.obs.span("write", "mapping_update", t, done);
+        RemoteProbe::Dedup(WriteResult {
+            processing_done: done,
+            device_finish: None,
+            latency: done.saturating_sub(now),
+            deduplicated: true,
+        })
+    }
+
+    /// Advertises a freshly written unique line to the other replay slices.
+    ///
+    /// Publishing is selective: if the directory already has an entry for
+    /// `fingerprint` (any owner), nothing is queued — at most roughly one
+    /// line per distinct published content is ever pinned. Otherwise the
+    /// physical line gains one permanent reference count (so the advertised
+    /// plaintext can never be recycled) and the entry is queued for the
+    /// engine to merge into the directory at the next epoch barrier,
+    /// first-writer-wins in slice order. A publish that loses that race
+    /// keeps its pin — a deterministic, bounded leak documented in the
+    /// design notes.
+    pub fn publish(&mut self, fingerprint: u64, physical: u64, line: &CacheLine) {
+        let Some(ctx) = self.shard.as_mut() else {
+            return;
+        };
+        if ctx.directory.contains_key(fingerprint) {
+            return;
+        }
+        let entry = RemoteEntry {
+            owner: ctx.slice,
+            line: *line,
+        };
+        ctx.publishes.push((fingerprint, entry));
+        self.alloc.incref(physical);
     }
 
     /// Encrypts and writes a unique line at a freshly allocated physical
@@ -447,6 +676,29 @@ impl Core {
         self.stats.reads_served += 1;
         let (mapped, t) = self.amt.translate(now, logical, &mut self.nvmm);
         match mapped {
+            Some(REMOTE_SENTINEL) => {
+                // The line lives in another replay slice's bank partition.
+                // Charge one remote read (latency, energy and counters on
+                // this slice, no local bank occupancy) plus the exposed
+                // decrypt, and serve the mirrored plaintext. Remote reads
+                // bypass the fault injector — a documented simplification:
+                // the owner's copy is scrubbed and ECC-protected there.
+                let completion = self.nvmm.charge_remote_read(t);
+                let finish = completion.finish
+                    + Ps::from_ns(self.cme.cost_model().decrypt_exposed_latency_ns);
+                self.charge_crypt_energy();
+                let data = self
+                    .shard
+                    .as_ref()
+                    .and_then(|ctx| ctx.remote_lines.get(logical))
+                    .copied()
+                    .expect("remote sentinel mapping must mirror its plaintext");
+                ReadResult {
+                    finish,
+                    data,
+                    outcome: ReadOutcome::Clean,
+                }
+            }
             Some(physical) => {
                 let (finish, read) = self.read_physical(t, physical);
                 if !read.outcome.is_data_valid() {

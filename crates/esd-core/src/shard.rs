@@ -1,0 +1,662 @@
+//! Bank-parallel sharded replay: one trace, split by PCM bank into
+//! independent slices, simulated on worker threads and merged into a single
+//! [`RunReport`] that is **byte-identical at any thread count**.
+//!
+//! # Model
+//!
+//! The PCM device exposes `config.pcm.banks` independently schedulable
+//! banks. The engine statically partitions the *logical* address space
+//! bank-granularly — `slice_of(addr) = (addr / 64) % banks` — and gives
+//! each slice its own complete scheme instance over a 1-bank slice of the
+//! system (its share of device capacity, metadata caches and write-buffer
+//! depth, see [`slice_config`]). Every slice replays exactly the accesses
+//! it owns, charging the **full** instruction gap between consecutive owned
+//! accesses to its private CPU model, so slice-local time tracks global
+//! program time: each slice models "the core plus my bank", stalled only by
+//! its own memory traffic.
+//!
+//! # Determinism
+//!
+//! Thread count is a *scheduling* knob, never a *model* knob:
+//!
+//! * the slice count is always `banks`, regardless of threads;
+//! * slices are data-independent within a quantum — cross-slice
+//!   deduplication goes through a directory that is only mutated at
+//!   quantum barriers, so hot-path probes read frozen state;
+//! * at each barrier the designated merger (the worker owning slice 0)
+//!   folds the slices' publish queues into the directory **in slice
+//!   order**, first-writer-wins;
+//! * all statistics are merged by commutative/ordered reduction in slice
+//!   order at the end of the run.
+//!
+//! One worker therefore produces bit-for-bit the same [`RunReport`] as
+//! eight: the single-thread path runs the same per-quantum code inline.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use esd_collections::{ShardedU64Map, U64Map};
+use esd_obs::{EpochSnapshot, EventKind, Obs, TraceEvent};
+use esd_sim::{
+    CacheStats, CpuModel, FaultStats, LatencyHistogram, PcmStats, Ps, SystemConfig,
+    WriteLatencyBreakdown, LINE_BYTES,
+};
+use esd_trace::{AccessKind, CacheLine, Trace};
+
+use crate::predictor::PredictorStats;
+use crate::report::{ReliabilityReport, RunReport};
+use crate::runner::{RunOptions, VerifyError};
+use crate::scheme::{DedupScheme, MetadataFootprint, RemoteEntry, SchemeStats, ShardCtx};
+use crate::scrub::{ScrubStats, Scrubber};
+
+/// Global accesses processed between cross-slice synchronization barriers.
+/// Large enough that barrier cost amortizes to noise, small enough that
+/// published duplicates become visible to other slices within the same
+/// locality window that produced them.
+pub(crate) const SYNC_QUANTUM: u32 = 4096;
+
+/// Stripe count of the cross-slice dedup directory (rounded up to a power
+/// of two internally).
+const DIRECTORY_STRIPES: usize = 64;
+
+/// Which replay slice owns a logical line address.
+#[inline]
+pub(crate) fn slice_of(addr: u64, nslices: u32) -> u32 {
+    ((addr / LINE_BYTES as u64) % u64::from(nslices.max(1))) as u32
+}
+
+/// Derives the per-slice system configuration: one bank, a proportional
+/// share of device capacity, metadata caches and write-buffer depth, and a
+/// slice-distinct fault-injection seed. The CPU parameters are untouched —
+/// every slice models the full core against its own bank.
+pub(crate) fn slice_config(config: &SystemConfig, slice: u32, nslices: u32) -> SystemConfig {
+    let n = u64::from(nslices.max(1));
+    let share = |bytes: u64, floor: u64| if bytes == 0 { 0 } else { (bytes / n).max(floor) };
+    let mut cfg = *config;
+    cfg.pcm.banks = 1;
+    cfg.pcm.capacity_bytes = share(config.pcm.capacity_bytes, LINE_BYTES as u64);
+    // Decorrelate the per-slice fault injectors (golden-ratio mix) while
+    // keeping them a pure function of (seed, slice) — thread count can
+    // never influence which bits flip.
+    cfg.pcm.rber_seed = config.pcm.rber_seed
+        ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(slice) + 1);
+    cfg.controller.fingerprint_cache_bytes =
+        share(config.controller.fingerprint_cache_bytes, 4096);
+    cfg.controller.mapping_cache_bytes = share(config.controller.mapping_cache_bytes, 4096);
+    cfg.controller.counter_cache_bytes = share(config.controller.counter_cache_bytes, 4096);
+    cfg.controller.write_buffer_depth =
+        (config.controller.write_buffer_depth / nslices.max(1)).max(1);
+    cfg
+}
+
+/// Cumulative slice-local state captured at one global epoch boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct SliceMark {
+    end_time: Ps,
+    writes_received: u64,
+    writes_deduplicated: u64,
+    fp_hits: u64,
+    fp_misses: u64,
+    energy_pj: u64,
+    write_buffer_depth: u64,
+    busy_banks: u64,
+}
+
+/// Everything one replay slice owns for the duration of the run.
+struct SliceState {
+    index: usize,
+    scheme: Box<dyn DedupScheme>,
+    cpu: CpuModel,
+    scrubber: Option<Scrubber>,
+    shadow: U64Map<CacheLine>,
+    write_latency: LatencyHistogram,
+    read_latency: LatencyHistogram,
+    /// `(global access index, instructions to execute before it)` for every
+    /// owned access, in trace order.
+    owned: Vec<(u32, u64)>,
+    cursor: usize,
+    marks: Vec<SliceMark>,
+    error: Option<VerifyError>,
+}
+
+impl SliceState {
+    fn record_mark(&mut self) {
+        let now = self.cpu.now();
+        let stats = self.scheme.stats();
+        let (fp_hits, fp_misses) = self
+            .scheme
+            .fingerprint_cache_stats()
+            .map_or((0, 0), |c| (c.hits, c.misses));
+        self.marks.push(SliceMark {
+            end_time: now,
+            writes_received: stats.writes_received,
+            writes_deduplicated: stats.writes_deduplicated,
+            fp_hits,
+            fp_misses,
+            energy_pj: (self.scheme.nvmm().stats().total_energy() + stats.compute_energy)
+                .as_pj(),
+            write_buffer_depth: self.cpu.write_buffer_occupancy() as u64,
+            busy_banks: self.scheme.nvmm().pcm().busy_banks(now) as u64,
+        });
+    }
+}
+
+/// Static partition of the trace: per-slice access lists (with full-gap
+/// instruction charges), per-slice write counts (shadow presizing), and the
+/// global instruction prefix at every epoch boundary.
+struct Partition {
+    owned: Vec<Vec<(u32, u64)>>,
+    writes: Vec<usize>,
+    instr_at_boundary: Vec<u64>,
+}
+
+fn partition_trace(trace: &Trace, nslices: usize, epoch_n: Option<u64>) -> Partition {
+    assert!(
+        trace.len() <= u32::MAX as usize,
+        "sharded replay indexes accesses with u32"
+    );
+    let mut owned: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nslices];
+    let mut writes = vec![0usize; nslices];
+    let mut instr_at_boundary = Vec::new();
+    let mut total_gap = 0u64;
+    let mut last_seen = vec![0u64; nslices];
+    for (i, access) in trace.iter().enumerate() {
+        let s = slice_of(access.addr, nslices as u32) as usize;
+        total_gap += u64::from(access.instruction_gap);
+        let exec = total_gap - last_seen[s];
+        last_seen[s] = total_gap;
+        owned[s].push((i as u32, exec));
+        if matches!(access.kind, AccessKind::Write) {
+            writes[s] += 1;
+        }
+        if let Some(n) = epoch_n {
+            if ((i + 1) as u64).is_multiple_of(n) {
+                instr_at_boundary.push(total_gap);
+            }
+        }
+    }
+    Partition {
+        owned,
+        writes,
+        instr_at_boundary,
+    }
+}
+
+/// Replays every owned access with global index `< end` (starting from the
+/// slice's cursor), recording epoch marks at each crossed global boundary.
+/// This is the serial runner's loop body, verbatim, over slice-local state.
+fn process_quantum(slice: &mut SliceState, trace: &Trace, options: &RunOptions, end: u32) {
+    let epoch_n = options.epoch_interval.map(|n| n.max(1));
+    while slice.cursor < slice.owned.len() {
+        let (g, exec) = slice.owned[slice.cursor];
+        if g >= end {
+            break;
+        }
+        slice.cursor += 1;
+        if let Some(n) = epoch_n {
+            while (slice.marks.len() as u64 + 1) * n <= u64::from(g) {
+                slice.record_mark();
+            }
+        }
+        slice.cpu.execute(exec);
+        let now = slice.cpu.now();
+        if let (Some(scrubber), Some(interval)) =
+            (slice.scrubber.as_mut(), options.scrub_interval)
+        {
+            if u64::from(g).is_multiple_of(interval.max(1)) && g > 0 {
+                let scrub_end = scrubber.tick(slice.scheme.nvmm_mut(), now);
+                if let Some(obs) = slice.scheme.obs_mut() {
+                    obs.span("scrub", "scrub_tick", now, scrub_end.max(now));
+                }
+            }
+        }
+        let access = &trace.accesses[g as usize];
+        match access.kind {
+            AccessKind::Write => {
+                let line = access.data.expect("write carries data");
+                let result = slice.scheme.write(now, access.addr, line);
+                slice.write_latency.record(result.latency);
+                let release = result
+                    .device_finish
+                    .map_or(result.processing_done, |f| f.max(result.processing_done));
+                slice.cpu.admit_write(release);
+                if options.verify {
+                    slice.shadow.insert(access.addr, line);
+                }
+            }
+            AccessKind::Read => {
+                let result = slice.scheme.read(now, access.addr);
+                slice.read_latency.record(result.finish.saturating_sub(now));
+                slice.cpu.complete_read(result.finish);
+                if options.verify && result.outcome.is_data_valid() && slice.error.is_none() {
+                    if let Some(expected) = slice.shadow.get(access.addr) {
+                        if *expected != result.data {
+                            slice.error = Some(VerifyError {
+                                scheme: slice.scheme.kind(),
+                                addr: access.addr,
+                                access_index: g as usize,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Moves a slice's queued directory publishes into its slot for the merger.
+fn drain_publishes(slice: &mut SliceState, slots: &[Mutex<Vec<(u64, RemoteEntry)>>]) {
+    let index = slice.index;
+    if let Some(slot) = slice.scheme.shard_slot() {
+        if let Some(ctx) = slot.as_mut() {
+            if !ctx.publishes.is_empty() {
+                slots[index]
+                    .lock()
+                    .expect("publish slot lock")
+                    .append(&mut ctx.publishes);
+            }
+        }
+    }
+}
+
+/// Folds every slot into the shared directory, in slice order (the
+/// deterministic first-writer-wins tiebreak).
+fn merge_publishes(
+    slots: &[Mutex<Vec<(u64, RemoteEntry)>>],
+    directory: &ShardedU64Map<RemoteEntry>,
+) {
+    for slot in slots {
+        let drained = std::mem::take(&mut *slot.lock().expect("publish slot lock"));
+        for (fp, entry) in drained {
+            directory.insert_if_absent(fp, entry);
+        }
+    }
+}
+
+/// `num / den`, zero on an empty denominator.
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn sum_scheme_stats(slices: &[SliceState]) -> SchemeStats {
+    let mut out = SchemeStats::default();
+    for s in slices {
+        let st = s.scheme.stats();
+        out.writes_received += st.writes_received;
+        out.writes_unique += st.writes_unique;
+        out.writes_deduplicated += st.writes_deduplicated;
+        out.dedup_cache_filtered += st.dedup_cache_filtered;
+        out.dedup_nvmm_filtered += st.dedup_nvmm_filtered;
+        out.fingerprint_computations += st.fingerprint_computations;
+        out.compare_reads += st.compare_reads;
+        out.compare_hits += st.compare_hits;
+        out.mispredictions += st.mispredictions;
+        out.reads_served += st.reads_served;
+        out.reads_corrected += st.reads_corrected;
+        out.corrected_words += st.corrected_words;
+        for (acc, w) in out.corrected_by_word.iter_mut().zip(st.corrected_by_word) {
+            *acc += w;
+        }
+        out.corrected_ecc_bits += st.corrected_ecc_bits;
+        out.reads_uncorrectable += st.reads_uncorrectable;
+        out.miscorrections += st.miscorrections;
+        out.uncorrectable_blast_logicals += st.uncorrectable_blast_logicals;
+        out.efit_fingerprint_drift += st.efit_fingerprint_drift;
+        out.compute_energy += st.compute_energy;
+    }
+    out
+}
+
+fn sum_pcm_stats(slices: &[SliceState]) -> PcmStats {
+    let mut out = PcmStats::default();
+    for s in slices {
+        let st = s.scheme.nvmm().stats();
+        for (acc, c) in [
+            (&mut out.data, st.data),
+            (&mut out.metadata, st.metadata),
+            (&mut out.scrub, st.scrub),
+        ] {
+            acc.reads += c.reads;
+            acc.writes += c.writes;
+            acc.energy += c.energy;
+        }
+        out.busy_time += st.busy_time;
+    }
+    out
+}
+
+fn sum_cache_stats(stats: impl Iterator<Item = Option<CacheStats>>) -> Option<CacheStats> {
+    stats.flatten().fold(None, |acc, c| {
+        let mut acc = acc.unwrap_or_default();
+        acc.hits += c.hits;
+        acc.misses += c.misses;
+        acc.evictions += c.evictions;
+        Some(acc)
+    })
+}
+
+/// Builds the merged epoch series: boundary times are the max across
+/// slices, occupancies (write-buffer depth, busy banks) are **summed**
+/// across slices — each slice contributes its own bank and buffer share —
+/// and rates come from summed per-interval deltas, with the instruction
+/// deltas read off the trace's exact global prefix sums.
+fn merge_epochs(
+    slices: &[SliceState],
+    instr_at_boundary: &[u64],
+    interval: u64,
+    config: &SystemConfig,
+) -> Vec<EpochSnapshot> {
+    let num_epochs = instr_at_boundary.len();
+    let mut epochs = Vec::with_capacity(num_epochs);
+    let mut prev_time = Ps::ZERO;
+    let mut prev = SliceMark::default();
+    let mut prev_instr = 0u64;
+    for (k, &instr) in instr_at_boundary.iter().enumerate() {
+        let mut end_time = Ps::ZERO;
+        let mut cum = SliceMark::default();
+        for s in slices {
+            let m = &s.marks[k];
+            end_time = end_time.max(m.end_time);
+            cum.writes_received += m.writes_received;
+            cum.writes_deduplicated += m.writes_deduplicated;
+            cum.fp_hits += m.fp_hits;
+            cum.fp_misses += m.fp_misses;
+            cum.energy_pj += m.energy_pj;
+            cum.write_buffer_depth += m.write_buffer_depth;
+            cum.busy_banks += m.busy_banks;
+        }
+        let d_instr = instr - prev_instr;
+        let d_cycles = config
+            .cpu
+            .clock
+            .ps_to_cycles_f64(end_time.saturating_sub(prev_time));
+        let d_writes = cum.writes_received - prev.writes_received;
+        let d_dedup = cum.writes_deduplicated - prev.writes_deduplicated;
+        let d_hits = cum.fp_hits - prev.fp_hits;
+        let d_lookups = d_hits + (cum.fp_misses - prev.fp_misses);
+        epochs.push(EpochSnapshot {
+            index: k as u64,
+            end_access: (k as u64 + 1) * interval,
+            end_time,
+            ipc: ratio(d_instr as f64, d_cycles),
+            dedup_rate: ratio(d_dedup as f64, d_writes as f64),
+            fingerprint_hit_rate: ratio(d_hits as f64, d_lookups as f64),
+            write_buffer_depth: cum.write_buffer_depth,
+            busy_banks: cum.busy_banks,
+            energy_pj: cum.energy_pj - prev.energy_pj,
+        });
+        prev_time = end_time;
+        prev = cum;
+        prev_instr = instr;
+    }
+    epochs
+}
+
+/// Merges the slices' observability collectors (and the synthesized epoch
+/// counter tracks) into one timeline: events are stably sorted by
+/// timestamp, registries fold in slice order, and dropped-event counts sum.
+fn merge_obs(
+    slices: &mut [SliceState],
+    epochs: &[EpochSnapshot],
+    trace_capacity: usize,
+) -> Obs {
+    let mut merged = Obs::enabled(trace_capacity);
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut dropped = 0u64;
+    for slice in slices.iter_mut() {
+        if let Some(obs) = slice.scheme.obs_mut() {
+            let taken = std::mem::take(obs);
+            dropped += taken.tracer().dropped();
+            events.extend(taken.tracer().events().copied());
+            merged.registry_mut().merge(taken.registry());
+        }
+    }
+    for e in epochs {
+        for (name, value) in [
+            ("write_buffer_depth", e.write_buffer_depth as f64),
+            ("busy_banks", e.busy_banks as f64),
+            ("ipc", e.ipc),
+        ] {
+            events.push(TraceEvent {
+                name,
+                cat: "epoch",
+                kind: EventKind::Counter,
+                ts: e.end_time,
+                dur: Ps::ZERO,
+                value,
+            });
+        }
+    }
+    events.sort_by_key(|e| e.ts); // stable: slice order breaks ties
+    for event in events {
+        merged.tracer_mut().push_event(event);
+    }
+    merged.tracer_mut().add_dropped(dropped);
+    if let Some(last) = epochs.last() {
+        merged
+            .registry_mut()
+            .gauge_set("write_buffer_depth", last.write_buffer_depth as f64);
+        merged
+            .registry_mut()
+            .gauge_set("busy_banks", last.busy_banks as f64);
+        merged.registry_mut().gauge_set("ipc", last.ipc);
+    }
+    merged
+}
+
+/// Runs the bank-sharded replay on `threads` workers (clamped to the slice
+/// count) and merges the slices into one deterministic [`RunReport`].
+pub(crate) fn run_sharded(
+    template: &mut dyn DedupScheme,
+    trace: &Trace,
+    config: &SystemConfig,
+    options: &RunOptions,
+    threads: usize,
+) -> Result<RunReport, VerifyError> {
+    let nslices = config.pcm.banks.max(1) as usize;
+    let threads = threads.clamp(1, nslices);
+    let epoch_n = options.epoch_interval.map(|n| n.max(1));
+    let partition = partition_trace(trace, nslices, epoch_n);
+    let num_epochs = partition.instr_at_boundary.len();
+
+    let directory: Arc<ShardedU64Map<RemoteEntry>> =
+        Arc::new(ShardedU64Map::new(DIRECTORY_STRIPES));
+    let mut owned = partition.owned;
+    let mut slices: Vec<SliceState> = (0..nslices)
+        .map(|s| {
+            let cfg = slice_config(config, s as u32, nslices as u32);
+            let mut scheme = template.fork_slice(&cfg);
+            // Wear leveling is enabled post-construction on the memory
+            // system, so `fork_slice` cannot carry it; re-enable it here
+            // with the template's exact parameters. The region is NOT
+            // scaled down: in-place schemes keep their original (sparse)
+            // logical addresses inside each slice, so a shrunken region
+            // would alias distinct lines.
+            if let Some(leveler) = template.nvmm().wear_leveler() {
+                scheme
+                    .nvmm_mut()
+                    .enable_wear_leveling(leveler.lines(), leveler.gap_interval());
+            }
+            if let Some(slot) = scheme.shard_slot() {
+                *slot = Some(ShardCtx::new(s as u32, Arc::clone(&directory)));
+            }
+            if options.observe {
+                if let Some(obs) = scheme.obs_mut() {
+                    *obs = Obs::enabled(options.trace_capacity);
+                }
+            }
+            SliceState {
+                index: s,
+                cpu: CpuModel::new(cfg.cpu, cfg.controller.write_buffer_depth),
+                scheme,
+                scrubber: options
+                    .scrub_interval
+                    .map(|_| Scrubber::new(options.scrub_lines_per_tick)),
+                shadow: if options.verify {
+                    U64Map::with_capacity(partition.writes[s])
+                } else {
+                    U64Map::new()
+                },
+                write_latency: LatencyHistogram::new(),
+                read_latency: LatencyHistogram::new(),
+                owned: std::mem::take(&mut owned[s]),
+                cursor: 0,
+                marks: Vec::with_capacity(num_epochs),
+                error: None,
+            }
+        })
+        .collect();
+
+    let total = trace.len() as u32;
+    let slots: Vec<Mutex<Vec<(u64, RemoteEntry)>>> =
+        (0..nslices).map(|_| Mutex::new(Vec::new())).collect();
+
+    if threads <= 1 {
+        let mut start = 0u32;
+        while start < total {
+            let end = total.min(start.saturating_add(SYNC_QUANTUM));
+            for slice in slices.iter_mut() {
+                process_quantum(slice, trace, options, end);
+                drain_publishes(slice, &slots);
+            }
+            merge_publishes(&slots, &directory);
+            start = end;
+        }
+    } else {
+        let barrier = Barrier::new(threads);
+        let base = nslices / threads;
+        let extra = nslices % threads;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [SliceState] = &mut slices;
+            for w in 0..threads {
+                let take = base + usize::from(w < extra);
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let barrier = &barrier;
+                let slots = &slots;
+                let directory = &directory;
+                scope.spawn(move || {
+                    let mut start = 0u32;
+                    while start < total {
+                        let end = total.min(start.saturating_add(SYNC_QUANTUM));
+                        for slice in chunk.iter_mut() {
+                            process_quantum(slice, trace, options, end);
+                            drain_publishes(slice, slots);
+                        }
+                        barrier.wait();
+                        // The worker owning slice 0 is the designated
+                        // merger: everyone else idles at the second
+                        // barrier, so the directory mutates race-free and
+                        // in slice order.
+                        if w == 0 {
+                            merge_publishes(slots, directory);
+                        }
+                        barrier.wait();
+                        start = end;
+                    }
+                });
+            }
+        });
+    }
+
+    // Flush the tail epoch marks every slice still owes (its last owned
+    // access may precede later global boundaries).
+    for slice in slices.iter_mut() {
+        while slice.marks.len() < num_epochs {
+            slice.record_mark();
+        }
+    }
+
+    if let Some(err) = slices
+        .iter()
+        .filter_map(|s| s.error.clone())
+        .min_by_key(|e| e.access_index)
+    {
+        return Err(err);
+    }
+
+    let epochs = merge_epochs(
+        &slices,
+        &partition.instr_at_boundary,
+        epoch_n.unwrap_or(1),
+        config,
+    );
+
+    let mut write_latency = LatencyHistogram::new();
+    let mut read_latency = LatencyHistogram::new();
+    let mut breakdown = WriteLatencyBreakdown::default();
+    let mut metadata = MetadataFootprint::default();
+    let mut faults = FaultStats::default();
+    let mut scrub = ScrubStats::default();
+    let mut max_wear = 0u64;
+    let mut wear_moves = 0u64;
+    let mut end_time = Ps::ZERO;
+    for s in &slices {
+        write_latency.merge(&s.write_latency);
+        read_latency.merge(&s.read_latency);
+        breakdown.merge(&s.scheme.breakdown());
+        let m = s.scheme.metadata_footprint();
+        metadata.nvmm_bytes += m.nvmm_bytes;
+        metadata.sram_bytes += m.sram_bytes;
+        let f = s.scheme.nvmm().medium().fault_stats();
+        faults.reads_sampled += f.reads_sampled;
+        faults.data_bits_flipped += f.data_bits_flipped;
+        faults.ecc_bits_flipped += f.ecc_bits_flipped;
+        if let Some(sc) = &s.scrubber {
+            let st = sc.stats();
+            scrub.ticks += st.ticks;
+            scrub.lines_scanned += st.lines_scanned;
+            scrub.lines_corrected += st.lines_corrected;
+            scrub.words_corrected += st.words_corrected;
+            scrub.lines_uncorrectable += st.lines_uncorrectable;
+            scrub.lines_miscorrected += st.lines_miscorrected;
+        }
+        max_wear = max_wear.max(s.scheme.nvmm().medium().max_wear());
+        wear_moves += s
+            .scheme
+            .nvmm()
+            .wear_leveler()
+            .map_or(0, |l| l.total_moves());
+        end_time = end_time.max(s.cpu.now());
+    }
+    let predictor = slices
+        .iter()
+        .filter_map(|s| s.scheme.predictor_stats())
+        .fold(None::<PredictorStats>, |acc, p| {
+            let mut acc = acc.unwrap_or_default();
+            acc.correct += p.correct;
+            acc.incorrect += p.incorrect;
+            Some(acc)
+        });
+    let obs = options
+        .observe
+        .then(|| merge_obs(&mut slices, &epochs, options.trace_capacity));
+
+    Ok(RunReport {
+        scheme: template.kind(),
+        app: trace.name.clone(),
+        stats: sum_scheme_stats(&slices),
+        pcm: sum_pcm_stats(&slices),
+        write_latency,
+        read_latency,
+        breakdown,
+        ipc: ratio(
+            trace.total_instructions() as f64,
+            config.cpu.clock.ps_to_cycles_f64(end_time),
+        ),
+        fingerprint_cache: sum_cache_stats(
+            slices.iter().map(|s| s.scheme.fingerprint_cache_stats()),
+        ),
+        amt_cache: sum_cache_stats(slices.iter().map(|s| s.scheme.amt_cache_stats())),
+        metadata,
+        max_wear,
+        wear_moves,
+        reliability: ReliabilityReport { faults, scrub },
+        epochs,
+        predictor,
+        obs,
+    })
+}

@@ -10,7 +10,8 @@ use esd_trace::CacheLine;
 use crate::efit::{Efit, EfitPolicy, REFER_MAX};
 use crate::fpstore::{FingerprintStore, LookupSource};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, SchemeKind, SchemeStats, WriteResult,
+    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
+    ShardCtx, WriteResult,
 };
 
 /// Bytes per stored MD5 index entry: 16 B digest + 5 B physical address +
@@ -157,12 +158,21 @@ impl DedupScheme for HashDedup {
                 }
             }
             None => {
+                // Hash-trusting schemes probe the cross-slice directory the
+                // same way they trust their local store (the simulator's
+                // free plaintext compare guards against collisions).
+                if let RemoteProbe::Dedup(result) =
+                    core.try_remote_dedup(now, t, logical, &line, fp, false, &mut |_| {})
+                {
+                    return result;
+                }
                 let before_write = t;
                 let (done, finish, physical) =
                     core.write_unique(t, logical, &line, already_encrypted, &mut |_| {});
                 // Index entries pin their lines: full dedup never reclaims.
                 core.alloc.incref(physical);
                 self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.publish(fp, physical, &line);
                 core.breakdown.unique_write += finish.saturating_sub(before_write);
                 WriteResult {
                     processing_done: done,
@@ -211,6 +221,18 @@ impl DedupScheme for HashDedup {
 
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.core.obs)
+    }
+
+    fn fork_slice(&self, config: &SystemConfig) -> Box<dyn DedupScheme> {
+        Box::new(HashDedup::with_algorithm(
+            config,
+            self.algorithm,
+            self.parallel_encryption,
+        ))
+    }
+
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        Some(&mut self.core.shard)
     }
 }
 
@@ -290,6 +312,15 @@ impl DedupScheme for EsdFull {
             }
         }
 
+        // Like ESD proper, a failed (or absent) local candidate can still
+        // resolve against another slice's advertised line, verify read
+        // included.
+        match core.try_remote_dedup(now, t, logical, &line, fp, true, &mut |_| {}) {
+            RemoteProbe::Dedup(result) => return result,
+            RemoteProbe::Collision(resumed) => t = resumed,
+            RemoteProbe::Miss => {}
+        }
+
         let before_write = t;
         let (done, finish, physical) = core.write_unique(t, logical, &line, false, &mut |_| {});
         if lookup.physical.is_none() {
@@ -297,6 +328,7 @@ impl DedupScheme for EsdFull {
             core.alloc.incref(physical);
             self.store.insert(done, fp, physical, &mut core.nvmm);
         }
+        core.publish(fp, physical, &line);
         core.breakdown.unique_write += finish.saturating_sub(before_write);
         WriteResult {
             processing_done: done,
@@ -343,6 +375,10 @@ impl DedupScheme for EsdFull {
 
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.core.obs)
+    }
+
+    fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
+        Some(&mut self.core.shard)
     }
 }
 
@@ -400,6 +436,15 @@ impl DedupScheme for EsdNoVerify {
                 };
             }
         }
+        // No or saturated local candidate: probe the cross-slice directory.
+        // The trust-the-fingerprint spirit carries over (no charged verify
+        // read); the simulator's free plaintext compare still guards data.
+        if let RemoteProbe::Dedup(result) =
+            self.core
+                .try_remote_dedup(now, t, logical, &line, fp, false, &mut |_| {})
+        {
+            return result;
+        }
         let core = &mut self.core;
         let before_write = t;
         let (done, finish, physical) = core.write_unique(t, logical, &line, false, &mut |_| {});
@@ -407,6 +452,7 @@ impl DedupScheme for EsdNoVerify {
         if let Some(displaced) = self.efit.insert(fp, physical) {
             core.alloc.decref(displaced);
         }
+        core.publish(fp, physical, &line);
         core.breakdown.unique_write += finish.saturating_sub(before_write);
         WriteResult {
             processing_done: done,

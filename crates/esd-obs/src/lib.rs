@@ -193,10 +193,22 @@ impl Obs {
         &self.tracer
     }
 
+    /// Mutable access to the trace ring buffer, for merging per-shard
+    /// buffers into one timeline.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     /// The metrics registry.
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Mutable access to the metrics registry, for merging per-shard
+    /// registries.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// Exports the trace buffer as Chrome trace-event JSON (the Perfetto /

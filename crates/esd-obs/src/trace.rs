@@ -141,6 +141,20 @@ impl Tracer {
         self.events.push_back(event);
     }
 
+    /// Records an already-built event. Used when merging per-shard trace
+    /// buffers into one timeline: the merger re-pushes events in timestamp
+    /// order, and the ring drops the oldest as usual if they overflow.
+    pub fn push_event(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+
+    /// Adds to the dropped-event count without recording anything. Lets a
+    /// merged tracer carry forward the drops its source buffers already
+    /// suffered.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
     /// Records a complete span `start..end`.
     pub fn push_span(&mut self, cat: &'static str, name: &'static str, start: Ps, end: Ps) {
         self.push(TraceEvent {

@@ -222,6 +222,26 @@ impl PcmDevice {
         Completion { start, finish }
     }
 
+    /// Charges one 64-byte *remote* read: an access serviced by another
+    /// replay shard's bank on behalf of this one (a cross-shard dedup
+    /// verify read). The requester pays the uncontended array-plus-bus
+    /// latency, the energy, and the busy time in its own counters, but no
+    /// local bank or bus horizon moves — the remote bank's contention is
+    /// not modeled here, which keeps shard state disjoint and results
+    /// independent of thread interleaving.
+    pub fn charge_remote_read(&mut self, now: Ps, class: AccessClass) -> Completion {
+        let finish = now + self.config.read_latency + self.config.bus_transfer;
+        self.stats.busy_time += finish - now;
+        let counters = match class {
+            AccessClass::Data => &mut self.stats.data,
+            AccessClass::Metadata => &mut self.stats.metadata,
+            AccessClass::Scrub => &mut self.stats.scrub,
+        };
+        counters.reads += 1;
+        counters.energy += self.config.read_energy;
+        Completion { start: now, finish }
+    }
+
     fn energy_of(&self, op: PcmOp) -> Energy {
         match op {
             PcmOp::Read => self.config.read_energy,
@@ -288,6 +308,19 @@ mod tests {
         assert_eq!(stats.total_reads(), 2);
         assert_eq!(stats.total_writes(), 1);
         assert_eq!(stats.total_energy().as_pj(), 9730);
+    }
+
+    #[test]
+    fn remote_read_charges_without_moving_horizons() {
+        let mut pcm = device();
+        let c = pcm.charge_remote_read(Ps::from_us(1), AccessClass::Data);
+        assert_eq!(c.latency_from(Ps::from_us(1)), Ps::from_ns(79));
+        assert_eq!(pcm.stats().data.reads, 1);
+        assert_eq!(pcm.stats().data.energy.as_pj(), 1490);
+        // Local banks and bus stay idle: a subsequent local read is
+        // completely unaffected by the remote charge.
+        let local = pcm.access(Ps::ZERO, 0, PcmOp::Read, AccessClass::Data);
+        assert_eq!(local.start, Ps::ZERO);
     }
 
     #[test]

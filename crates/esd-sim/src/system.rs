@@ -182,6 +182,14 @@ impl NvmmSystem {
         completion
     }
 
+    /// Charges a data read serviced by a *remote* replay shard's bank (a
+    /// cross-shard dedup verify read): requester-side timing and energy
+    /// only, no local bank or bus horizon movement. See
+    /// [`PcmDevice::charge_remote_read`].
+    pub fn charge_remote_read(&mut self, now: Ps) -> Completion {
+        self.pcm.charge_remote_read(now, AccessClass::Data)
+    }
+
     /// A metadata read (fingerprint NVMM lookup, AMT miss fill): timing and
     /// energy only.
     pub fn metadata_read(&mut self, now: Ps, line_addr: u64) -> Completion {

@@ -1,0 +1,100 @@
+//! The sharded replay engine's central promise: the [`RunReport`] is
+//! byte-identical at every worker-thread count, because the simulation is
+//! always sliced at bank granularity and merged deterministically.
+//!
+//! The matrix deliberately turns everything on — verification, nonzero
+//! RBER fault injection, background scrubbing, epoch collection and the
+//! observability collector — so any scheduling-dependent divergence in any
+//! subsystem fails the equality check.
+
+use esd::core::{replay_with, RunOptions, RunReport, SchemeKind};
+use esd::sim::SystemConfig;
+use esd::trace::{generate_trace, AppProfile};
+
+fn stress_config() -> SystemConfig {
+    let mut config = SystemConfig::default();
+    // Nonzero raw bit-error rate so ECC corrections (and occasional scrub
+    // repairs) happen during the run and must merge deterministically.
+    config.pcm.rber_per_tbit = 200_000;
+    config.pcm.rber_seed = 0xE5D;
+    config
+}
+
+fn stress_options(shards: u32) -> RunOptions {
+    RunOptions {
+        verify: true,
+        scrub_interval: Some(1_500),
+        scrub_lines_per_tick: 64,
+        observe: true,
+        trace_capacity: 4_096,
+        epoch_interval: Some(2_048),
+        shards,
+    }
+}
+
+fn run(kind: SchemeKind, shards: u32) -> RunReport {
+    let config = stress_config();
+    let mut app = AppProfile::demo();
+    app.working_set_lines = 4_096;
+    let trace = generate_trace(&app, 29, 16_000);
+    replay_with(kind, &trace, &config, &stress_options(shards)).expect("verified run")
+}
+
+#[test]
+fn report_is_identical_at_every_thread_count_for_every_scheme() {
+    // Shard counts straddle the interesting boundaries: serial, even
+    // splits, and a count (7) that does not divide the 8 banks evenly.
+    for kind in SchemeKind::EXTENDED {
+        let serial = run(kind, 1);
+        for shards in [2, 4, 7] {
+            let parallel = run(kind, shards);
+            assert_eq!(
+                serial, parallel,
+                "{kind} diverged between 1 and {shards} worker threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn epoch_occupancies_aggregate_across_all_banks() {
+    // Regression for the epoch-merge attribution fix: write_buffer_depth
+    // and busy_banks must be summed across slices, not taken from one
+    // slice. With the default 32-slot buffer split 4-per-slice across 8
+    // banks, a write-heavy trace keeps several slices backlogged at epoch
+    // boundaries — the merged depth must exceed any single slice's 4-slot
+    // cap, and more than one bank must show up busy.
+    let config = SystemConfig::default();
+    let mut app = AppProfile::demo();
+    app.working_set_lines = 8_192;
+    app.dup_rate = 0.0;
+    app.zero_fraction = 0.0;
+    app.read_fraction = 0.05;
+    let trace = generate_trace(&app, 41, 40_000);
+    let options = RunOptions {
+        epoch_interval: Some(1_024),
+        shards: 4,
+        ..RunOptions::default()
+    };
+    let report =
+        replay_with(SchemeKind::Baseline, &trace, &config, &options).expect("verified run");
+    assert!(!report.epochs.is_empty(), "epochs collected");
+    let per_slice_depth = u64::from(config.controller.write_buffer_depth / config.pcm.banks);
+    let max_depth = report
+        .epochs
+        .iter()
+        .map(|e| e.write_buffer_depth)
+        .max()
+        .unwrap();
+    let max_busy = report.epochs.iter().map(|e| e.busy_banks).max().unwrap();
+    assert!(
+        max_depth > per_slice_depth,
+        "merged write-buffer depth ({max_depth}) must aggregate beyond one \
+         slice's {per_slice_depth}-slot share"
+    );
+    assert!(
+        max_busy > 1,
+        "a saturating write stream must show more than one busy bank \
+         (got {max_busy})"
+    );
+}
