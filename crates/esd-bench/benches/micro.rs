@@ -53,6 +53,57 @@ fn bench_kernels_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched pipeline's multi-lane kernels against their scalar per-line
+/// counterparts, each iteration covering one 4-line group so the two sides
+/// share a unit.
+fn bench_lane_kernels(c: &mut Criterion) {
+    let lines4: [[u8; 64]; 4] =
+        std::array::from_fn(|l| std::array::from_fn(|i| (i as u8).wrapping_mul(37) ^ l as u8));
+    let aes = Aes128::new(&[0x2B; 16]);
+    let blocks4: [[u8; 16]; 4] = std::array::from_fn(|l| std::array::from_fn(|i| i as u8 ^ l as u8));
+    let mut group = c.benchmark_group("lane_kernels_4_lines");
+    group.bench_function("sha1_lines4", |b| {
+        b.iter(|| esd_hash::sha1_lines4(black_box(&lines4)))
+    });
+    group.bench_function("sha1_scalar_x4", |b| {
+        b.iter(|| black_box(&lines4).map(|l| sha1(&l)))
+    });
+    group.bench_function("md5_lines4", |b| {
+        b.iter(|| esd_hash::md5_lines4(black_box(&lines4)))
+    });
+    group.bench_function("md5_scalar_x4", |b| {
+        b.iter(|| black_box(&lines4).map(|l| md5(&l)))
+    });
+    group.bench_function("aes128_encrypt4", |b| {
+        b.iter(|| aes.encrypt4(black_box(blocks4)))
+    });
+    group.bench_function("aes128_encrypt_block_x4", |b| {
+        b.iter(|| black_box(blocks4).map(|blk| aes.encrypt_block(blk)))
+    });
+    group.bench_function("ecc_encode_lines4", |b| {
+        let mut codes = Vec::with_capacity(4);
+        b.iter(|| {
+            codes.clear();
+            esd_ecc::encode_lines(black_box(&lines4[..]), &mut codes);
+            codes.len()
+        })
+    });
+    group.bench_function("ecc_encode_line_x4", |b| {
+        b.iter(|| black_box(&lines4).map(|l| encode_line(&l)))
+    });
+    group.bench_function("ctr_fill_pads_16_lines", |b| {
+        let engine = CmeEngine::new([0x2B; 16]);
+        let pairs: Vec<(u64, u64)> = (0..16u64).map(|i| (i * 64, 1)).collect();
+        let mut pads = Vec::with_capacity(pairs.len());
+        b.iter(|| {
+            pads.clear();
+            engine.fill_pads(black_box(&pairs), &mut pads);
+            pads.len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_ecc_decode(c: &mut Criterion) {
     let line = [0x3Cu8; 64];
     let ecc = encode_line(&line);
@@ -221,6 +272,7 @@ criterion_group!(
     benches,
     bench_fingerprints,
     bench_kernels_vs_reference,
+    bench_lane_kernels,
     bench_ecc_decode,
     bench_cme,
     bench_structures_vs_reference,

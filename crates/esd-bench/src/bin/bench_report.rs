@@ -15,9 +15,17 @@
 //! structures (flat LRU vs the map-based cache, open-addressed `U64Map` vs
 //! `std::collections::HashMap`, pad-cached CTR decrypt vs uncached).
 //!
-//! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS`, and the fault
-//! injector's `ESD_RBER` / `ESD_RBER_SEED` / `ESD_SCRUB_EVERY` (see the
-//! crate docs), plus `ESD_BENCH_OUT` to redirect the JSON file.
+//! Also measures the multi-lane kernels behind the batched replay pipeline
+//! (4-wide SHA-1/MD5/AES, block-granular ECC encode, batched pad fill)
+//! against their scalar per-line shapes, and replays one trace at
+//! increasing batch sizes (`batch_scaling`). The report carries an
+//! `environment` block (core count, `ESD_*` knobs, build profile) so two
+//! checked-in sweeps can be compared knowing what produced them.
+//!
+//! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS`, `ESD_BATCH`,
+//! `ESD_QUANTUM`, and the fault injector's `ESD_RBER` / `ESD_RBER_SEED` /
+//! `ESD_SCRUB_EVERY` (see the crate docs), plus `ESD_BENCH_OUT` to
+//! redirect the JSON file.
 
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -25,8 +33,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use esd_bench::report_json::{
-    default_report_path, read_previous_accesses_per_second, write_bench_json, BenchExtras,
-    KernelSpeedup, SerialBaseline, ShardScaling,
+    default_report_path, read_previous_accesses_per_second, write_bench_json, BatchScaling,
+    BenchExtras, EnvironmentInfo, KernelSpeedup, SerialBaseline, ShardScaling,
 };
 use esd_bench::Sweep;
 use esd_collections::{ShardedU64Map, U64Map};
@@ -123,6 +131,89 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
         }),
         fast_ns: time_ns(|| {
             black_box(esd_hash::md5(black_box(&line)));
+        }),
+    });
+
+    // The multi-lane kernels behind the batched pipeline, each timed per
+    // 4-line group against its scalar per-line counterpart (same unit on
+    // both sides, so the ratio is the lane win).
+    let lines4: [[u8; LINE_BYTES]; 4] =
+        std::array::from_fn(|l| std::array::from_fn(|i| (i as u8).wrapping_mul(37) ^ l as u8));
+
+    kernels.push(KernelSpeedup {
+        name: "sha1_4_lines".into(),
+        reference_ns: time_ns(|| {
+            for l in black_box(&lines4) {
+                black_box(esd_hash::sha1(l));
+            }
+        }),
+        fast_ns: time_ns(|| {
+            black_box(esd_hash::sha1_lines4(black_box(&lines4)));
+        }),
+    });
+
+    kernels.push(KernelSpeedup {
+        name: "md5_4_lines".into(),
+        reference_ns: time_ns(|| {
+            for l in black_box(&lines4) {
+                black_box(esd_hash::md5(l));
+            }
+        }),
+        fast_ns: time_ns(|| {
+            black_box(esd_hash::md5_lines4(black_box(&lines4)));
+        }),
+    });
+
+    let blocks4: [[u8; 16]; 4] = std::array::from_fn(|l| std::array::from_fn(|i| i as u8 ^ l as u8));
+    kernels.push(KernelSpeedup {
+        name: "aes128_encrypt_4_blocks".into(),
+        reference_ns: time_ns(|| {
+            for b in black_box(blocks4) {
+                black_box(aes.encrypt_block(b));
+            }
+        }),
+        fast_ns: time_ns(|| {
+            black_box(aes.encrypt4(black_box(blocks4)));
+        }),
+    });
+
+    let mut codes = Vec::with_capacity(4);
+    kernels.push(KernelSpeedup {
+        name: "ecc_encode_4_lines".into(),
+        reference_ns: time_ns(|| {
+            for l in black_box(&lines4) {
+                black_box(encode_line(l));
+            }
+        }),
+        fast_ns: time_ns(|| {
+            codes.clear();
+            esd_ecc::encode_lines(black_box(&lines4[..]), &mut codes);
+            black_box(&codes);
+        }),
+    });
+
+    // Batched keystream fill vs the scalar shape it replaced: one AES call
+    // per 16-byte pad block. Both sides expand 16 line pads (64 blocks).
+    let engine = esd_crypto::CmeEngine::new([0x2B; 16]);
+    let pairs: Vec<(u64, u64)> = (0..16u64).map(|i| (i * 64, 1)).collect();
+    let mut pads = Vec::with_capacity(pairs.len());
+    kernels.push(KernelSpeedup {
+        name: "ctr_pad_fill_16_lines".into(),
+        reference_ns: time_ns(|| {
+            for &(addr, counter) in black_box(&pairs) {
+                for blk in 0..4u8 {
+                    let mut tweak = [0u8; 16];
+                    tweak[..8].copy_from_slice(&addr.to_le_bytes());
+                    tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
+                    tweak[15] = blk;
+                    black_box(aes.encrypt_block(tweak));
+                }
+            }
+        }),
+        fast_ns: time_ns(|| {
+            pads.clear();
+            engine.fill_pads(black_box(&pairs), &mut pads);
+            black_box(&pads);
         }),
     });
 
@@ -346,6 +437,47 @@ fn measure_shard_scaling(config: &esd_sim::SystemConfig) -> Vec<ShardScaling> {
     points
 }
 
+/// Times one trace through the stage-pipelined engine at increasing batch
+/// sizes (best of five replays each, single worker so the batch effect is
+/// not confounded with thread scaling); `batch = 1` is the scalar baseline
+/// the speedups are relative to. Uses the MD5 hash-dedup scheme — the
+/// heaviest per-write fingerprint whose 4-lane kernel vectorizes — so the
+/// curve reflects the pipeline's kernel win, not just gather overhead.
+fn measure_batch_scaling(config: &esd_sim::SystemConfig) -> Vec<BatchScaling> {
+    use esd_core::{replay_with, RunOptions};
+    const ACCESSES: usize = 200_000;
+    let trace = esd_trace::generate_trace(&esd_trace::AppProfile::demo(), 42, ACCESSES);
+    let mut points = Vec::new();
+    let mut scalar_wall = f64::INFINITY;
+    for batch in [1u32, 2, 16, 64] {
+        let options = RunOptions {
+            batch,
+            shards: 1,
+            ..RunOptions::default()
+        };
+        let run = || {
+            let t0 = Instant::now();
+            black_box(
+                replay_with(SchemeKind::DedupMd5, &trace, config, &options)
+                    .expect("verified batched replay"),
+            );
+            t0.elapsed().as_secs_f64()
+        };
+        let _ = run(); // warmup
+        let wall = (0..5).map(|_| run()).fold(f64::INFINITY, f64::min);
+        if batch == 1 {
+            scalar_wall = wall;
+        }
+        points.push(BatchScaling {
+            batch,
+            wall_seconds: wall,
+            accesses_per_second: ACCESSES as f64 / wall.max(1e-9),
+            speedup_vs_scalar: scalar_wall / wall.max(1e-9),
+        });
+    }
+    points
+}
+
 fn main() {
     let sweep = Sweep::default();
     let out_path = std::env::var_os("ESD_BENCH_OUT")
@@ -424,6 +556,15 @@ fn main() {
         );
     }
 
+    eprintln!("bench_report: intra-run batch scaling ...");
+    let batch_scaling = measure_batch_scaling(&sweep.config);
+    for p in &batch_scaling {
+        eprintln!(
+            "bench_report:   batch {:>3} {:>8.3}s  {:>10.0} acc/s  {:.2}x",
+            p.batch, p.wall_seconds, p.accesses_per_second, p.speedup_vs_scalar
+        );
+    }
+
     eprintln!("bench_report: serial baseline ...");
     let t0 = Instant::now();
     let serial_rows = sweep.run_serial(&SchemeKind::ALL);
@@ -457,13 +598,21 @@ fn main() {
     let speedup = serial_wall.as_secs_f64() / outcome.wall.as_secs_f64().max(1e-9);
     eprintln!("bench_report: parallel speedup {speedup:.2}x");
     if let Some(previous) = previous {
+        let delta = outcome.accesses_per_second(sweep.accesses) / previous.max(1e-9);
         eprintln!(
-            "bench_report: end-to-end {:.0} accesses/s vs previous {previous:.0} ({:.2}x)",
+            "bench_report: end-to-end {:.0} accesses/s vs previous {previous:.0} ({delta:.2}x)",
             outcome.accesses_per_second(sweep.accesses),
-            outcome.accesses_per_second(sweep.accesses) / previous.max(1e-9)
         );
+        if delta < 0.95 {
+            eprintln!(
+                "bench_report: WARNING: end-to-end throughput is {delta:.2}x of the \
+                 previously checked-in report (below the 0.95 regression threshold); \
+                 compare the two reports' environment blocks before trusting the delta"
+            );
+        }
     }
 
+    let environment = EnvironmentInfo::capture();
     write_bench_json(
         &out_path,
         &sweep,
@@ -473,6 +622,8 @@ fn main() {
             kernels: &kernels,
             structures: &structures,
             shard_scaling: &shard_scaling,
+            batch_scaling: &batch_scaling,
+            environment: Some(&environment),
             previous_accesses_per_second: previous,
         },
     )

@@ -18,6 +18,13 @@
 //! report) and a `shard_scaling` block: one trace replayed through the
 //! bank-sharded engine at increasing intra-run worker-thread counts, with
 //! the speedup over the serial (`shards=1`) replay.
+//!
+//! Schema v6 adds an `environment` block (logical core count, `ESD_*`
+//! environment knobs in effect, debug/release build — so two checked-in
+//! reports can be compared knowing what machine state produced them) and a
+//! `batch_scaling` block: one trace replayed through the stage-pipelined
+//! engine at increasing batch sizes, with the speedup over the scalar
+//! (`batch=1`) replay.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -88,6 +95,50 @@ pub struct ShardScaling {
     pub speedup_vs_serial: f64,
 }
 
+/// One point of the intra-run batch-scaling measurement: a single trace
+/// replayed through the stage-pipelined engine at a given block size.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchScaling {
+    /// Block size requested via [`esd_core::RunOptions::batch`].
+    pub batch: u32,
+    /// Best-of-several replay wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Replay throughput in trace accesses per second.
+    pub accesses_per_second: f64,
+    /// Wall-clock improvement over the `batch = 1` replay of this series.
+    pub speedup_vs_scalar: f64,
+}
+
+/// The host state that produced a report: enough to tell whether two
+/// checked-in sweeps are comparable (same machine shape, same knobs, same
+/// build profile).
+#[derive(Debug, Clone, Default)]
+pub struct EnvironmentInfo {
+    /// Logical CPU count the sweep could schedule onto.
+    pub logical_cores: usize,
+    /// Whether the binary was compiled with debug assertions (a debug-build
+    /// report must never be compared against a release-build one).
+    pub debug_build: bool,
+    /// Every `ESD_*` environment variable in effect, sorted by name.
+    pub esd_env: Vec<(String, String)>,
+}
+
+impl EnvironmentInfo {
+    /// Captures the current process environment.
+    #[must_use]
+    pub fn capture() -> Self {
+        let mut esd_env: Vec<(String, String)> = std::env::vars()
+            .filter(|(k, _)| k.starts_with("ESD_"))
+            .collect();
+        esd_env.sort();
+        Self {
+            logical_cores: std::thread::available_parallelism().map_or(1, usize::from),
+            debug_build: cfg!(debug_assertions),
+            esd_env,
+        }
+    }
+}
+
 /// Optional measurements accompanying the sweep in the report.
 #[derive(Debug, Clone, Default)]
 pub struct BenchExtras<'a> {
@@ -100,6 +151,10 @@ pub struct BenchExtras<'a> {
     pub structures: &'a [KernelSpeedup],
     /// Intra-run bank-sharded replay at increasing thread counts.
     pub shard_scaling: &'a [ShardScaling],
+    /// Intra-run stage-pipelined replay at increasing batch sizes.
+    pub batch_scaling: &'a [BatchScaling],
+    /// Host state that produced the report.
+    pub environment: Option<&'a EnvironmentInfo>,
     /// `accesses_per_second` of the previously checked-in report, for the
     /// end-to-end before/after delta.
     pub previous_accesses_per_second: Option<f64>,
@@ -125,7 +180,8 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v5"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v6"));
+    push_environment(&mut out, extras.environment);
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
     push_kv(&mut out, 1, "seed", &sweep.seed.to_string());
@@ -192,6 +248,7 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
         push_kv(&mut out, 1, "parallel_speedup", &json_f64(speedup));
     }
     push_shard_scaling(&mut out, extras.shard_scaling);
+    push_batch_scaling(&mut out, extras.batch_scaling);
     push_reliability(&mut out, sweep, outcome);
     push_latency(&mut out, sweep, outcome);
     push_epoch_series(&mut out, outcome);
@@ -383,6 +440,50 @@ fn push_shard_scaling(out: &mut String, items: &[ShardScaling]) {
     out.push_str("  ],\n");
 }
 
+/// The `batch_scaling` block: the stage-pipelined engine's single-trace
+/// speedup curve over the scalar (`batch=1`) loop.
+fn push_batch_scaling(out: &mut String, items: &[BatchScaling]) {
+    if items.is_empty() {
+        return;
+    }
+    out.push_str("  \"batch_scaling\": [\n");
+    for (i, p) in items.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"batch\": {}, \"wall_seconds\": {}, \"accesses_per_second\": {}, \
+             \"speedup_vs_scalar\": {}",
+            p.batch,
+            json_f64(p.wall_seconds),
+            json_f64(p.accesses_per_second),
+            json_f64(p.speedup_vs_scalar)
+        ));
+        out.push('}');
+        if i + 1 < items.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+}
+
+/// The `environment` block: what machine state produced the report.
+fn push_environment(out: &mut String, env: Option<&EnvironmentInfo>) {
+    let Some(env) = env else {
+        return;
+    };
+    out.push_str("  \"environment\": {\n");
+    push_kv(out, 2, "logical_cores", &env.logical_cores.to_string());
+    push_kv(out, 2, "debug_build", if env.debug_build { "true" } else { "false" });
+    out.push_str("    \"esd_env\": {");
+    for (i, (k, v)) in env.esd_env.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(k), json_str(v)));
+    }
+    out.push_str("}\n  },\n");
+}
+
 fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[KernelSpeedup]) {
     if items.is_empty() {
         return;
@@ -475,6 +576,17 @@ mod tests {
             accesses_per_second: 2_000_000.0,
             speedup_vs_serial: 3.2,
         }];
+        let batch_scaling = [BatchScaling {
+            batch: 64,
+            wall_seconds: 0.125,
+            accesses_per_second: 4_000_000.0,
+            speedup_vs_scalar: 1.4,
+        }];
+        let environment = EnvironmentInfo {
+            logical_cores: 8,
+            debug_build: true,
+            esd_env: vec![("ESD_BATCH".into(), "64".into())],
+        };
         assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
         let json = render_bench_json(
             &sweep,
@@ -486,15 +598,24 @@ mod tests {
                 kernels: &kernels,
                 structures: &structures,
                 shard_scaling: &shard_scaling,
+                batch_scaling: &batch_scaling,
+                environment: Some(&environment),
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v5\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v6\""));
         assert!(json.contains("\"requested_threads\""));
         assert!(json.contains("\"effective_threads\""));
         assert!(json.contains("\"shard_scaling\": ["));
         assert!(json.contains("\"requested_shards\": 4"));
         assert!(json.contains("\"speedup_vs_serial\": 3.200000"));
+        assert!(json.contains("\"batch_scaling\": ["));
+        assert!(json.contains("\"batch\": 64"));
+        assert!(json.contains("\"speedup_vs_scalar\": 1.400000"));
+        assert!(json.contains("\"environment\": {"));
+        assert!(json.contains("\"logical_cores\": 8"));
+        assert!(json.contains("\"debug_build\": true"));
+        assert!(json.contains("\"esd_env\": {\"ESD_BATCH\": \"64\"}"));
         assert!(json.contains("\"accesses_per_task\": 500"));
         assert!(json.contains("\"reliability\": {"));
         assert!(json.contains("\"latency\": {"));
@@ -536,7 +657,18 @@ mod tests {
         assert!(!json.contains("kernel_speedups"));
         assert!(!json.contains("structure_speedups"));
         assert!(!json.contains("shard_scaling"));
+        assert!(!json.contains("batch_scaling"));
+        assert!(!json.contains("\"environment\""));
         assert!(!json.contains("previous_accesses_per_second"));
+    }
+
+    #[test]
+    fn environment_capture_reflects_the_process() {
+        let env = EnvironmentInfo::capture();
+        assert!(env.logical_cores >= 1);
+        assert_eq!(env.debug_build, cfg!(debug_assertions));
+        assert!(env.esd_env.iter().all(|(k, _)| k.starts_with("ESD_")));
+        assert!(env.esd_env.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

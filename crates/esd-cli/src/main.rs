@@ -17,6 +17,14 @@
 //! environment variable, else 1). The report is byte-identical at every
 //! thread count.
 //!
+//! Engine knobs (`run`/`compare`/`replay`): `--batch <block>` stages each
+//! quantum through the pipelined write path in blocks of that many
+//! accesses (default `ESD_BATCH`, else 64; `1` = scalar loop; a pure
+//! host-speed knob — reports are identical at every batch size), and
+//! `--quantum <accesses>` sets the cross-slice sync quantum (default
+//! `ESD_QUANTUM`, else 4096; a *model* knob — it decides when cross-slice
+//! duplicates become visible; degenerate values are clamped with a note).
+//!
 //! Reliability flags: `--rber <flips per 10^12 bit-reads>` enables the
 //! seeded fault injector, `--rber-seed <N>` picks its stream, and
 //! `--scrub-every <accesses>` (with `--scrub-lines <N>` per tick) runs the
@@ -68,6 +76,9 @@ fn usage() -> &'static str {
      schemes: baseline, sha1, md5, pde, dewrite, esd, esd-full, esd-noverify\n\
      parallelism (run/compare/replay): [--shards <threads>] (0 = all cores; results\n\
      \x20                                 are identical at every thread count)\n\
+     engine (run/compare/replay):      [--batch <block>] (pipeline block size; results\n\
+     \x20                                 are identical at every batch size)\n\
+     \x20                                 [--quantum <accesses>] (cross-slice sync quantum)\n\
      reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
      \x20                                 [--scrub-every <accesses>] [--scrub-lines N]\n\
      observability (run/replay): [--metrics-json <file>] [--trace-events <file>]\n\
@@ -180,6 +191,41 @@ fn shard_options(
     Ok(())
 }
 
+/// Flag names for the batched replay engine, shared by `run`, `compare`
+/// and `replay`.
+const ENGINE_FLAGS: [&str; 2] = ["batch", "quantum"];
+
+/// Applies the engine knobs: `--batch` sets the stage-pipeline block size
+/// (a pure host-speed knob — reports are identical at every batch size)
+/// and `--quantum` the cross-slice sync quantum (a model knob). Degenerate
+/// values — `--quantum 0` or beyond the trace length, `--batch 0` — are
+/// clamped with a note.
+fn engine_options(
+    args: &Args,
+    trace_len: usize,
+    options: &mut RunOptions,
+) -> Result<(), String> {
+    options.batch = args.get_parsed_or("batch", options.batch).map_err(|e| e.to_string())?;
+    options.quantum =
+        args.get_parsed_or("quantum", options.quantum).map_err(|e| e.to_string())?;
+    if options.batch == 0 {
+        eprintln!("note: --batch 0 runs the scalar path (batch 1)");
+    }
+    let requested = options.quantum;
+    let effective = esd_core::effective_quantum(requested, trace_len);
+    if effective != requested {
+        if requested == 0 {
+            eprintln!("note: --quantum 0 replaced by the default {effective}");
+        } else {
+            eprintln!(
+                "note: --quantum {requested} clamped to {effective} (trace has \
+                 {trace_len} accesses)"
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Flag names shared by `run` and `replay` for observability outputs.
 const OBS_FLAGS: [&str; 3] = ["metrics-json", "trace-events", "epoch-every"];
 
@@ -274,6 +320,7 @@ fn run_one(
 fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
         &["app", "scheme", "accesses", "seed", "shards"][..],
+        &ENGINE_FLAGS[..],
         &RELIABILITY_FLAGS[..],
         &OBS_FLAGS[..],
     ]
@@ -288,6 +335,7 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     shard_options(&args, &config, &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
+    engine_options(&args, trace.len(), &mut options)?;
     let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());
     write_observability(&report, &outputs)?;
@@ -297,6 +345,7 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
 fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
         &["app", "accesses", "seed", "extended", "shards"][..],
+        &ENGINE_FLAGS[..],
         &RELIABILITY_FLAGS[..],
     ]
     .concat();
@@ -309,6 +358,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     let mut options = reliability_options(&args, &mut config)?;
     shard_options(&args, &config, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
+    engine_options(&args, trace.len(), &mut options)?;
 
     let schemes: &[SchemeKind] = if extended {
         &SchemeKind::EXTENDED
@@ -397,8 +447,13 @@ fn cmd_analyze(rest: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
-    let allowed: Vec<&str> =
-        [&["scheme", "shards"][..], &RELIABILITY_FLAGS[..], &OBS_FLAGS[..]].concat();
+    let allowed: Vec<&str> = [
+        &["scheme", "shards"][..],
+        &ENGINE_FLAGS[..],
+        &RELIABILITY_FLAGS[..],
+        &OBS_FLAGS[..],
+    ]
+    .concat();
     let args = Args::parse(rest, &allowed).map_err(|e| e.to_string())?;
     let path = args
         .required_positional(0, "<trace-file>")
@@ -408,6 +463,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
     shard_options(&args, &config, &mut options)?;
+    engine_options(&args, trace.len(), &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let report = run_one(kind, &trace, &config, &options)?;
     print!("{}", report.summary());

@@ -60,14 +60,28 @@ impl DedupScheme for DedupSha1 {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         let core = &mut self.core;
         core.stats.writes_received += 1;
 
-        // SHA-1 on the critical path, for every line.
+        // SHA-1 on the critical path, for every line. A precomputed key
+        // skips only the host-side hash; every modeled charge below is
+        // identical either way.
         let cost = FingerprintKind::Sha1.cost();
-        let fp = FingerprintKind::Sha1
-            .compute_key(line.as_bytes())
-            .expect("sha1 computes a key");
+        let fp = fingerprint.unwrap_or_else(|| {
+            FingerprintKind::Sha1
+                .compute_key(line.as_bytes())
+                .expect("sha1 computes a key")
+        });
         core.stats.fingerprint_computations += 1;
         core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
         let t = now + Ps::from_ns(cost.latency_ns);
@@ -170,6 +184,14 @@ impl DedupScheme for DedupSha1 {
 
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         Some(&mut self.core.shard)
+    }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Hash(FingerprintKind::Sha1))
+    }
+
+    fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
+        self.store.prefetch(fingerprints);
     }
 }
 

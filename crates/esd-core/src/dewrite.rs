@@ -73,14 +73,26 @@ impl DedupScheme for DeWrite {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         let core = &mut self.core;
         core.stats.writes_received += 1;
 
         let predicted_dup = self.predictor.predict(logical);
         let crc_cost = FingerprintKind::Crc32.cost();
-        let fp = FingerprintKind::Crc32
-            .compute_key(line.as_bytes())
-            .expect("crc32 computes a key");
+        let fp = fingerprint.unwrap_or_else(|| {
+            FingerprintKind::Crc32
+                .compute_key(line.as_bytes())
+                .expect("crc32 computes a key")
+        });
         core.stats.fingerprint_computations += 1;
         core.stats.compute_energy += Energy::from_pj(crc_cost.energy_pj);
 
@@ -236,6 +248,14 @@ impl DedupScheme for DeWrite {
 
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         Some(&mut self.core.shard)
+    }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Hash(FingerprintKind::Crc32))
+    }
+
+    fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
+        self.store.prefetch(fingerprints);
     }
 }
 

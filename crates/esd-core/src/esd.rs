@@ -166,10 +166,20 @@ impl DedupScheme for Esd {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         self.core.stats.writes_received += 1;
 
         // The ECC fingerprint is free: the controller computed it already.
-        let fp = self.codec.line_fingerprint(line.as_bytes());
+        let fp = fingerprint.unwrap_or_else(|| self.codec.line_fingerprint(line.as_bytes()));
         let t = now + self.core.sram_latency; // EFIT probe
         self.core.breakdown.sram_probe += self.core.sram_latency;
         self.core.obs.span("write", "efit_probe", now, t);
@@ -300,6 +310,10 @@ impl DedupScheme for Esd {
 
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         Some(&mut self.core.shard)
+    }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Ecc(self.codec))
     }
 }
 

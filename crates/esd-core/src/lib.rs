@@ -74,12 +74,12 @@ pub use fpstore::{FingerprintStore, FpLookup, LookupSource};
 pub use predictor::{DupPredictor, PredictorStats};
 pub use report::{Normalized, ReliabilityReport, RunReport};
 pub use runner::{
-    build_scheme, effective_shards, replay, replay_with, run_app, run_trace, run_trace_with,
-    RunOptions, VerifyError,
+    build_scheme, effective_batch, effective_quantum, effective_shards, replay, replay_with,
+    run_app, run_trace, run_trace_with, RunOptions, VerifyError, DEFAULT_BATCH, DEFAULT_QUANTUM,
 };
 pub use scheme::{
-    DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind, SchemeStats, ShardCtx,
-    WriteResult,
+    DedupScheme, FingerprintSpec, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind,
+    SchemeStats, ShardCtx, WriteResult,
 };
 pub use scrub::{ScrubStats, Scrubber};
 pub use variants::{EsdFull, EsdNoVerify, HashDedup, MD5_ENTRY_BYTES};

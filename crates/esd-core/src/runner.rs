@@ -87,6 +87,23 @@ pub struct RunOptions {
     /// is byte-identical at every thread count. Defaults to the
     /// `ESD_SHARDS` environment variable (unset → 1).
     pub shards: u32,
+    /// Accesses staged per block through the batched write-path pipeline
+    /// (fingerprint → prefetch → execute, each stage running over the whole
+    /// block). Purely a *host-speed* knob — fingerprints are pure functions
+    /// of line content and all modeled charges happen in the execute stage
+    /// in access order, so the [`RunReport`] is byte-identical at every
+    /// batch size. `0` or `1` selects the scalar per-access loop. Defaults
+    /// to the `ESD_BATCH` environment variable (unset → 64).
+    pub batch: u32,
+    /// Accesses each slice processes between synchronization barriers of
+    /// the sharded engine. Unlike `shards` and `batch` this is a *model*
+    /// knob: cross-slice dedup publishes become visible at barriers, so
+    /// changing the quantum changes which remote duplicates are caught.
+    /// Degenerate values are clamped by [`effective_quantum`] (`0` → the
+    /// default, values past the trace length → one barrier at the end).
+    /// Defaults to the `ESD_QUANTUM` environment variable (unset → 4096,
+    /// the engine's historical `SYNC_QUANTUM`).
+    pub quantum: u32,
 }
 
 impl Default for RunOptions {
@@ -99,6 +116,8 @@ impl Default for RunOptions {
             trace_capacity: 0,
             epoch_interval: None,
             shards: default_shards(),
+            batch: default_batch(),
+            quantum: default_quantum(),
         }
     }
 }
@@ -106,11 +125,32 @@ impl Default for RunOptions {
 /// The default worker-thread count: the `ESD_SHARDS` environment variable
 /// when set to a valid integer, else 1 (single-threaded).
 fn default_shards() -> u32 {
-    std::env::var("ESD_SHARDS")
+    env_knob("ESD_SHARDS", 1)
+}
+
+/// The default batch-block size: `ESD_BATCH` when set, else 64.
+fn default_batch() -> u32 {
+    env_knob("ESD_BATCH", DEFAULT_BATCH)
+}
+
+/// The default sync quantum: `ESD_QUANTUM` when set, else 4096.
+fn default_quantum() -> u32 {
+    env_knob("ESD_QUANTUM", DEFAULT_QUANTUM)
+}
+
+fn env_knob(name: &str, default: u32) -> u32 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(1)
+        .unwrap_or(default)
 }
+
+/// The built-in batch-block size when `ESD_BATCH` is unset.
+pub const DEFAULT_BATCH: u32 = 64;
+
+/// The built-in sync quantum when `ESD_QUANTUM` is unset — the value the
+/// engine hard-coded as `SYNC_QUANTUM` before it became configurable.
+pub const DEFAULT_QUANTUM: u32 = 4096;
 
 /// Resolves a requested shard (worker-thread) count: `0` selects the
 /// machine's available parallelism, and the result is clamped to the PCM
@@ -125,6 +165,31 @@ pub fn effective_shards(requested: u32, config: &SystemConfig) -> u32 {
         requested
     };
     requested.min(banks)
+}
+
+/// Resolves a requested sync quantum against a trace of `trace_len`
+/// accesses, clamping degenerate values: `0` falls back to
+/// [`DEFAULT_QUANTUM`], and anything beyond the trace length is capped at
+/// it (one barrier at the end — larger values cannot change the schedule).
+/// Because the quantum is a model knob (it decides when cross-slice dedup
+/// publishes become visible), callers that clamp should tell the user —
+/// the CLI prints a note when the effective value differs from the request.
+#[must_use]
+pub fn effective_quantum(requested: u32, trace_len: usize) -> u32 {
+    let requested = if requested == 0 {
+        DEFAULT_QUANTUM
+    } else {
+        requested
+    };
+    let cap = u32::try_from(trace_len.max(1)).unwrap_or(u32::MAX);
+    requested.min(cap)
+}
+
+/// Resolves a requested batch-block size: `0` means scalar, which the
+/// engine treats identically to `1`.
+#[must_use]
+pub fn effective_batch(requested: u32) -> u32 {
+    requested.max(1)
 }
 
 /// Replays `trace` through `scheme`, optionally verifying every read
@@ -236,6 +301,25 @@ mod tests {
 
     fn demo_trace() -> Trace {
         esd_trace::generate_trace(&AppProfile::demo(), 7, 3_000)
+    }
+
+    #[test]
+    fn effective_quantum_clamps_degenerate_values() {
+        // 0 falls back to the default; oversized requests clamp to the
+        // trace length; in-range requests pass through untouched.
+        assert_eq!(effective_quantum(0, 10_000), DEFAULT_QUANTUM);
+        assert_eq!(effective_quantum(1_000_000, 10_000), 10_000);
+        assert_eq!(effective_quantum(512, 10_000), 512);
+        // An empty trace still yields a positive quantum.
+        assert_eq!(effective_quantum(512, 0), 1);
+        assert_eq!(effective_quantum(0, 0), 1);
+    }
+
+    #[test]
+    fn effective_batch_treats_zero_as_scalar() {
+        assert_eq!(effective_batch(0), 1);
+        assert_eq!(effective_batch(1), 1);
+        assert_eq!(effective_batch(64), 64);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use std::sync::Arc;
 
 use esd_collections::{ShardedU64Map, U64Map};
 use esd_crypto::CmeEngine;
+use esd_ecc::EccCodec;
+use esd_hash::FingerprintKind;
 use esd_obs::Obs;
 use esd_sim::{
     Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown,
@@ -347,6 +349,66 @@ pub trait DedupScheme: Send {
     /// own bank partition.
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         None
+    }
+
+    /// How this scheme derives its write-path fingerprint, if the
+    /// fingerprint is a pure function of line content the batched engine
+    /// can precompute with the multi-lane kernels. `None` (the default)
+    /// means the scheme computes no content fingerprint (Baseline) and the
+    /// batch fingerprint stage skips it.
+    fn fingerprint_spec(&self) -> Option<FingerprintSpec> {
+        None
+    }
+
+    /// [`DedupScheme::write`] with an optionally precomputed fingerprint
+    /// key for this line, as produced by the kernels named in
+    /// [`DedupScheme::fingerprint_spec`].
+    ///
+    /// Implementations must charge exactly the latency/energy/observability
+    /// they would have charged computing the fingerprint inline — the
+    /// precomputation saves host wall-clock, never simulated time — so the
+    /// batched engine's reports stay byte-identical to scalar replay. The
+    /// default ignores the hint and recomputes.
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
+        let _ = fingerprint;
+        self.write(now, logical, line)
+    }
+
+    /// Hints the fingerprints of an upcoming batch so the scheme can warm
+    /// its index structures (host-cache prefetch only — no model side
+    /// effects allowed). The default does nothing.
+    fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
+        let _ = fingerprints;
+    }
+}
+
+/// The fingerprint function a scheme's write path applies to line content,
+/// advertised to the batched replay engine so it can precompute a whole
+/// block of keys through the multi-lane kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintSpec {
+    /// A hash/CRC family key, compressed to 64 bits exactly as
+    /// [`FingerprintKind::compute_key`] does.
+    Hash(FingerprintKind),
+    /// The packed per-line ECC under the given codec
+    /// ([`EccCodec::line_fingerprint`]).
+    Ecc(EccCodec),
+}
+
+impl FingerprintSpec {
+    /// Computes the keys for a block of lines, appending one per line to
+    /// `out` — bit-exact with the scalar per-line fingerprint.
+    pub fn compute_keys(self, lines: &[[u8; 64]], out: &mut Vec<u64>) {
+        match self {
+            FingerprintSpec::Hash(kind) => kind.compute_keys(lines, out),
+            FingerprintSpec::Ecc(codec) => codec.line_fingerprints(lines, out),
+        }
     }
 }
 

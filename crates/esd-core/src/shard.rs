@@ -48,12 +48,6 @@ use crate::runner::{RunOptions, VerifyError};
 use crate::scheme::{DedupScheme, MetadataFootprint, RemoteEntry, SchemeStats, ShardCtx};
 use crate::scrub::{ScrubStats, Scrubber};
 
-/// Global accesses processed between cross-slice synchronization barriers.
-/// Large enough that barrier cost amortizes to noise, small enough that
-/// published duplicates become visible to other slices within the same
-/// locality window that produced them.
-pub(crate) const SYNC_QUANTUM: u32 = 4096;
-
 /// Stripe count of the cross-slice dedup directory (rounded up to a power
 /// of two internally).
 const DIRECTORY_STRIPES: usize = 64;
@@ -101,6 +95,18 @@ struct SliceMark {
     busy_banks: u64,
 }
 
+/// Reusable struct-of-arrays staging buffers for the batched pipeline:
+/// one block of write lines gathered from the trace and the fingerprint
+/// keys the multi-lane kernels computed for them. Kept on the slice so a
+/// run allocates them once, not once per quantum.
+#[derive(Default)]
+struct BatchBuffers {
+    /// The block's write-line payloads, contiguous for the lane kernels.
+    lines: Vec<[u8; LINE_BYTES]>,
+    /// One fingerprint key per gathered line, in gather order.
+    keys: Vec<u64>,
+}
+
 /// Everything one replay slice owns for the duration of the run.
 struct SliceState {
     index: usize,
@@ -116,6 +122,7 @@ struct SliceState {
     cursor: usize,
     marks: Vec<SliceMark>,
     error: Option<VerifyError>,
+    buffers: BatchBuffers,
 }
 
 impl SliceState {
@@ -181,64 +188,156 @@ fn partition_trace(trace: &Trace, nslices: usize, epoch_n: Option<u64>) -> Parti
     }
 }
 
-/// Replays every owned access with global index `< end` (starting from the
-/// slice's cursor), recording epoch marks at each crossed global boundary.
-/// This is the serial runner's loop body, verbatim, over slice-local state.
-fn process_quantum(slice: &mut SliceState, trace: &Trace, options: &RunOptions, end: u32) {
-    let epoch_n = options.epoch_interval.map(|n| n.max(1));
-    while slice.cursor < slice.owned.len() {
-        let (g, exec) = slice.owned[slice.cursor];
-        if g >= end {
-            break;
+/// Replays one owned access: epoch-mark catch-up, CPU execute, scrub tick,
+/// then the memory access itself. This is the serial runner's loop body,
+/// verbatim, over slice-local state.
+///
+/// `fingerprint` optionally carries a precomputed fingerprint key for a
+/// write (from the batched pipeline's kernel stage); the scheme charges the
+/// exact same modeled costs either way, so passing `None` and `Some(fp)`
+/// are report-identical.
+fn replay_access(
+    slice: &mut SliceState,
+    trace: &Trace,
+    options: &RunOptions,
+    epoch_n: Option<u64>,
+    g: u32,
+    exec: u64,
+    fingerprint: Option<u64>,
+) {
+    if let Some(n) = epoch_n {
+        while (slice.marks.len() as u64 + 1) * n <= u64::from(g) {
+            slice.record_mark();
         }
-        slice.cursor += 1;
-        if let Some(n) = epoch_n {
-            while (slice.marks.len() as u64 + 1) * n <= u64::from(g) {
-                slice.record_mark();
+    }
+    slice.cpu.execute(exec);
+    let now = slice.cpu.now();
+    if let (Some(scrubber), Some(interval)) = (slice.scrubber.as_mut(), options.scrub_interval)
+    {
+        if u64::from(g).is_multiple_of(interval.max(1)) && g > 0 {
+            let scrub_end = scrubber.tick(slice.scheme.nvmm_mut(), now);
+            if let Some(obs) = slice.scheme.obs_mut() {
+                obs.span("scrub", "scrub_tick", now, scrub_end.max(now));
             }
         }
-        slice.cpu.execute(exec);
-        let now = slice.cpu.now();
-        if let (Some(scrubber), Some(interval)) =
-            (slice.scrubber.as_mut(), options.scrub_interval)
-        {
-            if u64::from(g).is_multiple_of(interval.max(1)) && g > 0 {
-                let scrub_end = scrubber.tick(slice.scheme.nvmm_mut(), now);
-                if let Some(obs) = slice.scheme.obs_mut() {
-                    obs.span("scrub", "scrub_tick", now, scrub_end.max(now));
-                }
+    }
+    let access = &trace.accesses[g as usize];
+    match access.kind {
+        AccessKind::Write => {
+            let line = access.data.expect("write carries data");
+            let result = slice
+                .scheme
+                .write_prepared(now, access.addr, line, fingerprint);
+            slice.write_latency.record(result.latency);
+            let release = result
+                .device_finish
+                .map_or(result.processing_done, |f| f.max(result.processing_done));
+            slice.cpu.admit_write(release);
+            if options.verify {
+                slice.shadow.insert(access.addr, line);
             }
         }
-        let access = &trace.accesses[g as usize];
-        match access.kind {
-            AccessKind::Write => {
-                let line = access.data.expect("write carries data");
-                let result = slice.scheme.write(now, access.addr, line);
-                slice.write_latency.record(result.latency);
-                let release = result
-                    .device_finish
-                    .map_or(result.processing_done, |f| f.max(result.processing_done));
-                slice.cpu.admit_write(release);
-                if options.verify {
-                    slice.shadow.insert(access.addr, line);
-                }
-            }
-            AccessKind::Read => {
-                let result = slice.scheme.read(now, access.addr);
-                slice.read_latency.record(result.finish.saturating_sub(now));
-                slice.cpu.complete_read(result.finish);
-                if options.verify && result.outcome.is_data_valid() && slice.error.is_none() {
-                    if let Some(expected) = slice.shadow.get(access.addr) {
-                        if *expected != result.data {
-                            slice.error = Some(VerifyError {
-                                scheme: slice.scheme.kind(),
-                                addr: access.addr,
-                                access_index: g as usize,
-                            });
-                        }
+        AccessKind::Read => {
+            let result = slice.scheme.read(now, access.addr);
+            slice.read_latency.record(result.finish.saturating_sub(now));
+            slice.cpu.complete_read(result.finish);
+            if options.verify && result.outcome.is_data_valid() && slice.error.is_none() {
+                if let Some(expected) = slice.shadow.get(access.addr) {
+                    if *expected != result.data {
+                        slice.error = Some(VerifyError {
+                            scheme: slice.scheme.kind(),
+                            addr: access.addr,
+                            access_index: g as usize,
+                        });
                     }
                 }
             }
+        }
+    }
+}
+
+/// Replays every owned access with global index `< end` (starting from the
+/// slice's cursor), recording epoch marks at each crossed global boundary.
+///
+/// With `batch > 1` and a scheme that exposes a [`FingerprintSpec`], the
+/// quantum is staged through the pipeline in blocks of up to `batch`
+/// accesses: gather the block's write lines into a struct-of-arrays
+/// buffer, run the multi-lane fingerprint kernels over the whole block,
+/// probe the fingerprint structures for the whole block, then execute the
+/// block access-by-access in exact trace order with the precomputed keys.
+/// Fingerprints are pure functions of line content and every modeled
+/// latency/energy charge still happens in the execute stage in the same
+/// order, so the report is byte-identical to the scalar path.
+///
+/// [`FingerprintSpec`]: crate::scheme::FingerprintSpec
+fn process_quantum(
+    slice: &mut SliceState,
+    trace: &Trace,
+    options: &RunOptions,
+    end: u32,
+    batch: u32,
+) {
+    let epoch_n = options.epoch_interval.map(|n| n.max(1));
+    let spec = if batch > 1 {
+        slice.scheme.fingerprint_spec()
+    } else {
+        None
+    };
+    let Some(spec) = spec else {
+        // Scalar path: `batch <= 1`, or the scheme has no precomputable
+        // fingerprint (e.g. Baseline).
+        while slice.cursor < slice.owned.len() {
+            let (g, exec) = slice.owned[slice.cursor];
+            if g >= end {
+                break;
+            }
+            slice.cursor += 1;
+            replay_access(slice, trace, options, epoch_n, g, exec, None);
+        }
+        return;
+    };
+    while slice.cursor < slice.owned.len() {
+        // Stage 1 — gather: scan up to `batch` owned accesses below `end`
+        // and copy their write lines into the contiguous SoA block.
+        slice.buffers.lines.clear();
+        slice.buffers.keys.clear();
+        let from = slice.cursor;
+        let mut upto = from;
+        while upto < slice.owned.len()
+            && upto - from < batch as usize
+            && slice.owned[upto].0 < end
+        {
+            let access = &trace.accesses[slice.owned[upto].0 as usize];
+            if matches!(access.kind, AccessKind::Write) {
+                slice
+                    .buffers
+                    .lines
+                    .push(*access.data.expect("write carries data").as_bytes());
+            }
+            upto += 1;
+        }
+        if upto == from {
+            break;
+        }
+        // Stage 2 — fingerprint: multi-lane hash/ECC kernels over the block.
+        spec.compute_keys(&slice.buffers.lines, &mut slice.buffers.keys);
+        // Stage 3 — probe: warm the fingerprint structures for the block.
+        slice.scheme.prefetch_fingerprints(&slice.buffers.keys);
+        // Stage 4 — execute: exact trace order, consuming keys as writes
+        // come up. The scheme re-charges the full modeled fingerprint cost,
+        // so precomputation is invisible to the report.
+        let mut key_ix = 0usize;
+        for i in from..upto {
+            let (g, exec) = slice.owned[i];
+            slice.cursor += 1;
+            let fp = if matches!(trace.accesses[g as usize].kind, AccessKind::Write) {
+                let fp = slice.buffers.keys.get(key_ix).copied();
+                key_ix += 1;
+                fp
+            } else {
+                None
+            };
+            replay_access(slice, trace, options, epoch_n, g, exec, fp);
         }
     }
 }
@@ -506,20 +605,26 @@ pub(crate) fn run_sharded(
                 cursor: 0,
                 marks: Vec::with_capacity(num_epochs),
                 error: None,
+                buffers: BatchBuffers::default(),
             }
         })
         .collect();
 
     let total = trace.len() as u32;
+    // Resolve the engine knobs once: the quantum is a *model* knob (it
+    // decides when cross-slice publishes become visible), the batch a pure
+    // host-speed knob (report-invisible by construction).
+    let quantum = crate::runner::effective_quantum(options.quantum, trace.len());
+    let batch = crate::runner::effective_batch(options.batch);
     let slots: Vec<Mutex<Vec<(u64, RemoteEntry)>>> =
         (0..nslices).map(|_| Mutex::new(Vec::new())).collect();
 
     if threads <= 1 {
         let mut start = 0u32;
         while start < total {
-            let end = total.min(start.saturating_add(SYNC_QUANTUM));
+            let end = total.min(start.saturating_add(quantum));
             for slice in slices.iter_mut() {
-                process_quantum(slice, trace, options, end);
+                process_quantum(slice, trace, options, end, batch);
                 drain_publishes(slice, &slots);
             }
             merge_publishes(&slots, &directory);
@@ -541,9 +646,9 @@ pub(crate) fn run_sharded(
                 scope.spawn(move || {
                     let mut start = 0u32;
                     while start < total {
-                        let end = total.min(start.saturating_add(SYNC_QUANTUM));
+                        let end = total.min(start.saturating_add(quantum));
                         for slice in chunk.iter_mut() {
-                            process_quantum(slice, trace, options, end);
+                            process_quantum(slice, trace, options, end, batch);
                             drain_publishes(slice, slots);
                         }
                         barrier.wait();

@@ -108,14 +108,25 @@ impl DedupScheme for HashDedup {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         let core = &mut self.core;
         core.stats.writes_received += 1;
 
         let cost = self.algorithm.cost();
-        let fp = self
-            .algorithm
-            .compute_key(line.as_bytes())
-            .expect("hash fingerprint");
+        let fp = fingerprint.unwrap_or_else(|| {
+            self.algorithm
+                .compute_key(line.as_bytes())
+                .expect("hash fingerprint")
+        });
         core.stats.fingerprint_computations += 1;
         core.stats.compute_energy += Energy::from_pj(cost.energy_pj);
 
@@ -234,6 +245,14 @@ impl DedupScheme for HashDedup {
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         Some(&mut self.core.shard)
     }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Hash(self.algorithm))
+    }
+
+    fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
+        self.store.prefetch(fingerprints);
+    }
 }
 
 /// ESD ablation: ECC fingerprints with a **full** NVMM-backed fingerprint
@@ -266,9 +285,20 @@ impl DedupScheme for EsdFull {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         let core = &mut self.core;
         core.stats.writes_received += 1;
-        let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
+        let fp = fingerprint
+            .unwrap_or_else(|| esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64());
 
         let lookup = self.store.lookup(now, fp, &mut core.nvmm);
         match lookup.source {
@@ -380,6 +410,14 @@ impl DedupScheme for EsdFull {
     fn shard_slot(&mut self) -> Option<&mut Option<ShardCtx>> {
         Some(&mut self.core.shard)
     }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Ecc(esd_ecc::EccCodec::Hamming))
+    }
+
+    fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
+        self.store.prefetch(fingerprints);
+    }
 }
 
 /// ESD ablation: skip the byte-by-byte verify read and trust ECC equality.
@@ -414,8 +452,19 @@ impl DedupScheme for EsdNoVerify {
     }
 
     fn write(&mut self, now: Ps, logical: u64, line: CacheLine) -> WriteResult {
+        self.write_prepared(now, logical, line, None)
+    }
+
+    fn write_prepared(
+        &mut self,
+        now: Ps,
+        logical: u64,
+        line: CacheLine,
+        fingerprint: Option<u64>,
+    ) -> WriteResult {
         self.core.stats.writes_received += 1;
-        let fp = esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64();
+        let fp = fingerprint
+            .unwrap_or_else(|| esd_ecc::EccFingerprint::of_line(line.as_bytes()).to_u64());
         let t = now + self.core.sram_latency;
         self.core.breakdown.sram_probe += self.core.sram_latency;
         self.core.obs.span("write", "efit_probe", now, t);
@@ -499,6 +548,10 @@ impl DedupScheme for EsdNoVerify {
 
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.core.obs)
+    }
+
+    fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
+        Some(crate::scheme::FingerprintSpec::Ecc(esd_ecc::EccCodec::Hamming))
     }
 }
 

@@ -44,8 +44,8 @@ pub use hamming::{
     decode_word, encode_word, encode_word_ref, CorrectedBit, DecodeWordError, WordDecode,
 };
 pub use line::{
-    decode_line, encode_line, DecodeLineError, EccFingerprint, LineDecode, LineEcc, LINE_BYTES,
-    WORDS_PER_LINE,
+    decode_line, encode_line, encode_lines, DecodeLineError, EccFingerprint, LineDecode, LineEcc,
+    LINE_BYTES, WORDS_PER_LINE,
 };
 
 /// Selects which SEC-DED code supplies the per-line ECC (and therefore the
@@ -79,6 +79,25 @@ impl EccCodec {
         match self {
             EccCodec::Hamming => encode_line(line).to_u64(),
             EccCodec::Hsiao => hsiao::encode_line(line),
+        }
+    }
+
+    /// Computes the packed 64-bit per-line ECC for a whole block of lines,
+    /// appending one fingerprint per line to `out` in order.
+    ///
+    /// The Hamming codec routes through the 4-line interleaved
+    /// [`encode_lines`] kernel; Hsiao stays scalar. Bit-exact with
+    /// [`EccCodec::line_fingerprint`] per line at every block size.
+    pub fn line_fingerprints(self, lines: &[[u8; LINE_BYTES]], out: &mut Vec<u64>) {
+        match self {
+            EccCodec::Hamming => {
+                let mut codes = Vec::new();
+                encode_lines(lines, &mut codes);
+                out.extend(codes.iter().map(|c| c.to_u64()));
+            }
+            EccCodec::Hsiao => {
+                out.extend(lines.iter().map(hsiao::encode_line));
+            }
         }
     }
 

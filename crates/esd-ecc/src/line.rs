@@ -147,6 +147,37 @@ pub fn encode_line(line: &[u8; LINE_BYTES]) -> LineEcc {
     LineEcc(words)
 }
 
+/// Encodes a block of cache lines, appending one [`LineEcc`] per line to
+/// `out` in order.
+///
+/// Four lines are interleaved per pass so the eight `ENC_TABLE` rows stay
+/// hot across lanes; the lane-tail (final 1–3 lines) falls back to
+/// [`encode_line`]. Bit-exact with per-line encoding at every block size.
+pub fn encode_lines(lines: &[[u8; LINE_BYTES]], out: &mut Vec<LineEcc>) {
+    out.reserve(lines.len());
+    let mut groups = lines.chunks_exact(4);
+    for group in groups.by_ref() {
+        let mut words = [[0u8; WORDS_PER_LINE]; 4];
+        for w in 0..WORDS_PER_LINE {
+            for l in 0..4 {
+                let chunk = &group[l][w * 8..w * 8 + 8];
+                words[l][w] = ENC_TABLE[0][chunk[0] as usize]
+                    ^ ENC_TABLE[1][chunk[1] as usize]
+                    ^ ENC_TABLE[2][chunk[2] as usize]
+                    ^ ENC_TABLE[3][chunk[3] as usize]
+                    ^ ENC_TABLE[4][chunk[4] as usize]
+                    ^ ENC_TABLE[5][chunk[5] as usize]
+                    ^ ENC_TABLE[6][chunk[6] as usize]
+                    ^ ENC_TABLE[7][chunk[7] as usize];
+            }
+        }
+        out.extend(words.map(LineEcc));
+    }
+    for line in groups.remainder() {
+        out.push(encode_line(line));
+    }
+}
+
 /// The result of decoding one protected cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineDecode {
@@ -276,6 +307,21 @@ mod tests {
                 EccFingerprint::of_line(&b),
                 "single-bit change in byte {byte} left fingerprint unchanged"
             );
+        }
+    }
+
+    #[test]
+    fn block_encode_matches_per_line_at_every_tail_size() {
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65] {
+            let lines: Vec<[u8; LINE_BYTES]> = (0..len)
+                .map(|s| line_of(|i| (s * 37 + i * 3) as u8))
+                .collect();
+            let mut block = Vec::new();
+            encode_lines(&lines, &mut block);
+            assert_eq!(block.len(), len);
+            for (i, l) in lines.iter().enumerate() {
+                assert_eq!(block[i], encode_line(l), "line {i} of {len}");
+            }
         }
     }
 

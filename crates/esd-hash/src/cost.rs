@@ -111,6 +111,36 @@ impl FingerprintKind {
             FingerprintKind::Crc64 => Some(crate::crc64(line)),
         }
     }
+
+    /// Computes this fingerprint's 64-bit key over a whole block of lines,
+    /// appending one key per line to `out` in order. SHA-1 and MD5 route
+    /// through the 4-lane interleaved kernels (bit-exact with
+    /// [`FingerprintKind::compute_key`] per line, including lane-tail
+    /// batches); the CRC families stay scalar — their table lookups are
+    /// already cheap enough that interleaving buys nothing.
+    ///
+    /// The `Ecc` variant appends nothing, mirroring `compute_key`'s `None`.
+    pub fn compute_keys(self, lines: &[[u8; 64]], out: &mut Vec<u64>) {
+        match self {
+            FingerprintKind::Ecc => {}
+            FingerprintKind::Sha1 => {
+                let mut digests = Vec::new();
+                crate::sha1_batch(lines, &mut digests);
+                out.extend(digests.iter().map(|d| d.to_u64()));
+            }
+            FingerprintKind::Md5 => {
+                let mut digests = Vec::new();
+                crate::md5_batch(lines, &mut digests);
+                out.extend(digests.iter().map(|d| d.to_u64()));
+            }
+            FingerprintKind::Crc32 => {
+                out.extend(lines.iter().map(|l| u64::from(crate::crc32(l))));
+            }
+            FingerprintKind::Crc64 => {
+                out.extend(lines.iter().map(|l| crate::crc64(l)));
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for FingerprintKind {
@@ -154,6 +184,19 @@ mod tests {
             assert_ne!(ka, kind.compute_key(&b).unwrap(), "{kind}");
         }
         assert!(FingerprintKind::Ecc.compute_key(&a).is_none());
+    }
+
+    #[test]
+    fn compute_keys_matches_per_line_compute_key() {
+        let lines: Vec<[u8; 64]> = (0..7)
+            .map(|s: usize| std::array::from_fn(|i| (s * 31 + i) as u8))
+            .collect();
+        for kind in FingerprintKind::ALL {
+            let mut batch = Vec::new();
+            kind.compute_keys(&lines, &mut batch);
+            let scalar: Vec<u64> = lines.iter().filter_map(|l| kind.compute_key(l)).collect();
+            assert_eq!(batch, scalar, "{kind}");
+        }
     }
 
     #[test]

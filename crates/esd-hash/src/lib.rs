@@ -34,14 +34,16 @@
 
 mod cost;
 mod crc;
+mod lanes;
 mod md5;
 pub mod reference;
 mod sha1;
 
 pub use cost::{FingerprintCost, FingerprintKind};
 pub use crc::{crc32, crc64, Crc32, Crc64};
-pub use md5::{md5, Md5, Md5Digest};
-pub use sha1::{sha1, Sha1, Sha1Digest};
+pub use lanes::{md5_batch, sha1_batch};
+pub use md5::{md5, md5_lines4, Md5, Md5Digest};
+pub use sha1::{sha1, sha1_lines4, Sha1, Sha1Digest};
 
 #[cfg(test)]
 mod tests {

@@ -196,6 +196,89 @@ pub fn md5(data: &[u8]) -> Md5Digest {
     h.finalize()
 }
 
+/// The standard MD5 initial state, shared with the 4-lane kernel.
+const MD5_INIT: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+/// The second compression block of every one-shot 64-byte message is a
+/// constant: the `0x80` terminator, zeros, then the 512-bit message length
+/// little-endian in the last eight bytes.
+const MD5_LINE_PAD: [u8; 64] = {
+    let mut block = [0u8; 64];
+    block[0] = 0x80;
+    block[57] = 0x02; // 512 = 0x0200, little-endian
+    block
+};
+
+/// One MD5 compression over four independent states in lockstep (see
+/// the SHA-1 counterpart for the interleaving rationale).
+fn md5_compress4(states: &mut [[u32; 4]; 4], blocks: [&[u8; 64]; 4]) {
+    let mut m = [[0u32; 16]; 4];
+    for (lane, block) in m.iter_mut().zip(blocks) {
+        for (word, chunk) in lane.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+    }
+
+    let mut a: [u32; 4] = std::array::from_fn(|l| states[l][0]);
+    let mut b: [u32; 4] = std::array::from_fn(|l| states[l][1]);
+    let mut c: [u32; 4] = std::array::from_fn(|l| states[l][2]);
+    let mut d: [u32; 4] = std::array::from_fn(|l| states[l][3]);
+
+    macro_rules! round4 {
+        ($f:expr, $g:expr, $i:expr) => {{
+            for l in 0..4 {
+                let f: fn(u32, u32, u32) -> u32 = $f;
+                let t = f(b[l], c[l], d[l])
+                    .wrapping_add(a[l])
+                    .wrapping_add(K[$i])
+                    .wrapping_add(m[l][$g]);
+                let next_b = b[l].wrapping_add(t.rotate_left(S[$i]));
+                a[l] = d[l];
+                d[l] = c[l];
+                c[l] = b[l];
+                b[l] = next_b;
+            }
+        }};
+    }
+
+    for i in 0..16 {
+        round4!(|b, c, d| (b & c) | ((!b) & d), i, i);
+    }
+    for i in 16..32 {
+        round4!(|b, c, d| (d & b) | ((!d) & c), (5 * i + 1) % 16, i);
+    }
+    for i in 32..48 {
+        round4!(|b, c, d| b ^ c ^ d, (3 * i + 5) % 16, i);
+    }
+    for i in 48..64 {
+        round4!(|b, c, d| c ^ (b | !d), (7 * i) % 16, i);
+    }
+
+    for l in 0..4 {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+    }
+}
+
+/// Hashes four independent 64-byte lines in lockstep — two interleaved
+/// compressions (the data blocks, then the shared constant padding block) —
+/// and returns the four digests. Bit-exact with [`md5`] on each line.
+#[must_use]
+pub fn md5_lines4(lines: &[[u8; 64]; 4]) -> [Md5Digest; 4] {
+    let mut states = [MD5_INIT; 4];
+    md5_compress4(&mut states, [&lines[0], &lines[1], &lines[2], &lines[3]]);
+    md5_compress4(&mut states, [&MD5_LINE_PAD; 4]);
+    std::array::from_fn(|l| {
+        let mut out = [0u8; 16];
+        for (i, word) in states[l].iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Md5Digest(out)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,7 @@ impl Sha1 {
     #[must_use]
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: SHA1_INIT,
             buffer: [0u8; 64],
             buffered: 0,
             length_bits: 0,
@@ -216,6 +216,122 @@ pub fn sha1(data: &[u8]) -> Sha1Digest {
     h.finalize()
 }
 
+/// The standard SHA-1 initial state, shared with the 4-lane kernel.
+const SHA1_INIT: [u32; 5] =
+    [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// The second compression block of every one-shot 64-byte message is a
+/// constant: the `0x80` terminator, zeros, then the 512-bit message length
+/// big-endian in the last eight bytes.
+const SHA1_LINE_PAD: [u8; 64] = {
+    let mut block = [0u8; 64];
+    block[0] = 0x80;
+    block[62] = 0x02; // 512 = 0x0200, big-endian
+    block
+};
+
+/// One SHA-1 compression over four independent states in lockstep: the four
+/// message schedules and round computations are interleaved so each round's
+/// four lane operations are adjacent — the shape the compiler auto-vectorizes
+/// and that keeps all four working sets in registers.
+fn sha1_compress4(states: &mut [[u32; 5]; 4], blocks: [&[u8; 64]; 4]) {
+    let mut w = [[0u32; 16]; 4];
+    for (lane, block) in w.iter_mut().zip(blocks) {
+        for (word, chunk) in lane.iter_mut().zip(block.chunks_exact(4)) {
+            *word = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+    }
+
+    let mut a: [u32; 4] = std::array::from_fn(|l| states[l][0]);
+    let mut b: [u32; 4] = std::array::from_fn(|l| states[l][1]);
+    let mut c: [u32; 4] = std::array::from_fn(|l| states[l][2]);
+    let mut d: [u32; 4] = std::array::from_fn(|l| states[l][3]);
+    let mut e: [u32; 4] = std::array::from_fn(|l| states[l][4]);
+
+    macro_rules! schedule4 {
+        ($i:expr) => {{
+            let mut next = [0u32; 4];
+            for l in 0..4 {
+                let n = (w[l][($i + 13) & 15]
+                    ^ w[l][($i + 8) & 15]
+                    ^ w[l][($i + 2) & 15]
+                    ^ w[l][$i & 15])
+                    .rotate_left(1);
+                w[l][$i & 15] = n;
+                next[l] = n;
+            }
+            next
+        }};
+    }
+    macro_rules! round4 {
+        ($f:expr, $k:expr, $wi:expr) => {{
+            for l in 0..4 {
+                let f: fn(u32, u32, u32) -> u32 = $f;
+                let temp = a[l]
+                    .rotate_left(5)
+                    .wrapping_add(f(b[l], c[l], d[l]))
+                    .wrapping_add(e[l])
+                    .wrapping_add($k)
+                    .wrapping_add($wi[l]);
+                e[l] = d[l];
+                d[l] = c[l];
+                c[l] = b[l].rotate_left(30);
+                b[l] = a[l];
+                a[l] = temp;
+            }
+        }};
+    }
+
+    // `i` walks the message-word axis; iterating `&w` would walk lanes,
+    // the wrong dimension — hence the allow.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..16 {
+        let wi: [u32; 4] = std::array::from_fn(|l| w[l][i]);
+        round4!(|b, c, d| (b & c) | ((!b) & d), 0x5A82_7999, wi);
+    }
+    for i in 16..20 {
+        let wi = schedule4!(i);
+        round4!(|b, c, d| (b & c) | ((!b) & d), 0x5A82_7999, wi);
+    }
+    for i in 20..40 {
+        let wi = schedule4!(i);
+        round4!(|b, c, d| b ^ c ^ d, 0x6ED9_EBA1, wi);
+    }
+    for i in 40..60 {
+        let wi = schedule4!(i);
+        round4!(|b, c, d| (b & c) | (b & d) | (c & d), 0x8F1B_BCDC, wi);
+    }
+    for i in 60..80 {
+        let wi = schedule4!(i);
+        round4!(|b, c, d| b ^ c ^ d, 0xCA62_C1D6, wi);
+    }
+
+    for l in 0..4 {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+    }
+}
+
+/// Hashes four independent 64-byte lines in lockstep — two interleaved
+/// compressions (the data blocks, then the shared constant padding block) —
+/// and returns the four digests. Bit-exact with [`sha1`] on each line.
+#[must_use]
+pub fn sha1_lines4(lines: &[[u8; 64]; 4]) -> [Sha1Digest; 4] {
+    let mut states = [SHA1_INIT; 4];
+    sha1_compress4(&mut states, [&lines[0], &lines[1], &lines[2], &lines[3]]);
+    sha1_compress4(&mut states, [&SHA1_LINE_PAD; 4]);
+    std::array::from_fn(|l| {
+        let mut out = [0u8; 20];
+        for (i, word) in states[l].iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Sha1Digest(out)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +364,17 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), sha1(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn four_lane_matches_scalar() {
+        let lines: [[u8; 64]; 4] = std::array::from_fn(|l| {
+            std::array::from_fn(|i| (l * 64 + i) as u8 ^ 0xA5)
+        });
+        let digests = sha1_lines4(&lines);
+        for (line, digest) in lines.iter().zip(digests) {
+            assert_eq!(digest, sha1(line));
         }
     }
 

@@ -20,7 +20,7 @@ fn stress_config() -> SystemConfig {
     config
 }
 
-fn stress_options(shards: u32) -> RunOptions {
+fn stress_options(shards: u32, batch: u32) -> RunOptions {
     RunOptions {
         verify: true,
         scrub_interval: Some(1_500),
@@ -29,15 +29,17 @@ fn stress_options(shards: u32) -> RunOptions {
         trace_capacity: 4_096,
         epoch_interval: Some(2_048),
         shards,
+        batch,
+        quantum: 4_096,
     }
 }
 
-fn run(kind: SchemeKind, shards: u32) -> RunReport {
+fn run(kind: SchemeKind, shards: u32, batch: u32) -> RunReport {
     let config = stress_config();
     let mut app = AppProfile::demo();
     app.working_set_lines = 4_096;
     let trace = generate_trace(&app, 29, 16_000);
-    replay_with(kind, &trace, &config, &stress_options(shards)).expect("verified run")
+    replay_with(kind, &trace, &config, &stress_options(shards, batch)).expect("verified run")
 }
 
 #[test]
@@ -45,13 +47,35 @@ fn report_is_identical_at_every_thread_count_for_every_scheme() {
     // Shard counts straddle the interesting boundaries: serial, even
     // splits, and a count (7) that does not divide the 8 banks evenly.
     for kind in SchemeKind::EXTENDED {
-        let serial = run(kind, 1);
+        let serial = run(kind, 1, 1);
         for shards in [2, 4, 7] {
-            let parallel = run(kind, shards);
+            let parallel = run(kind, shards, 1);
             assert_eq!(
                 serial, parallel,
                 "{kind} diverged between 1 and {shards} worker threads"
             );
+        }
+    }
+}
+
+#[test]
+fn report_is_identical_at_every_batch_size_for_every_scheme() {
+    // The batched pipeline's contract: batch size is a pure host-speed
+    // knob. Stage-pipelining the fingerprint kernels and probe prefetch
+    // must leave the report byte-identical at every (batch, shards)
+    // combination — including lane tails (batch 2) and the full block
+    // (batch 64) — under the same everything-on stress matrix.
+    for kind in SchemeKind::EXTENDED {
+        let scalar = run(kind, 1, 1);
+        for shards in [1, 4] {
+            for batch in [2, 64] {
+                let batched = run(kind, shards, batch);
+                assert_eq!(
+                    scalar, batched,
+                    "{kind} diverged between scalar and batch={batch} at \
+                     {shards} worker threads"
+                );
+            }
         }
     }
 }
