@@ -25,6 +25,14 @@
 //! `batch_scaling` block: one trace replayed through the stage-pipelined
 //! engine at increasing batch sizes, with the speedup over the scalar
 //! (`batch=1`) replay.
+//!
+//! Schema v7 adds a `recovery` block: one trace crashed at a fixed
+//! write-path point and recovered at each of several metadata-journal
+//! checkpoint intervals (`journal_every = 0` is journaling off, i.e. the
+//! full-scan recovery), giving the recovery-time-vs-journal-interval
+//! curve. Every point also records the zero-loss invariants
+//! (`lost_acknowledged_writes`, `refcounts_leaked`) so CI can gate on
+//! them from the checked-in report.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -109,6 +117,41 @@ pub struct BatchScaling {
     pub speedup_vs_scalar: f64,
 }
 
+/// The crash-recovery measurement: one trace crashed at a fixed write-path
+/// point, recovered at each of several journal checkpoint intervals.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryCurve {
+    /// Scheme the curve was measured on (the full ESD pipeline).
+    pub scheme: String,
+    /// Trace access index the crash was injected at.
+    pub crash_access: u64,
+    /// Write-path stage the crash was injected in (kebab-case name).
+    pub crash_stage: String,
+    /// One point per swept journal interval, tightest first.
+    pub points: Vec<RecoveryPoint>,
+}
+
+/// One point of the recovery-time-vs-journal-interval curve.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPoint {
+    /// Journal checkpoint interval in records; `0` means journaling off
+    /// (recovery falls back to the full metadata scan).
+    pub journal_every: u64,
+    /// Modeled recovery latency, nanoseconds (slowest bank slice).
+    pub recovery_ns: f64,
+    /// Metadata-line reads issued during recovery, summed across slices.
+    pub replay_reads: u64,
+    /// Journal records replayed (0 for the full-scan point).
+    pub records_replayed: u64,
+    /// Modeled recovery energy, picojoules.
+    pub energy_pj: u64,
+    /// Refcount-audit leaks found after recovery — must be 0.
+    pub refcounts_leaked: u64,
+    /// Acknowledged writes the post-recovery verifier found missing — must
+    /// be 0 (the run would have failed verification otherwise).
+    pub lost_acknowledged_writes: u64,
+}
+
 /// The host state that produced a report: enough to tell whether two
 /// checked-in sweeps are comparable (same machine shape, same knobs, same
 /// build profile).
@@ -153,6 +196,8 @@ pub struct BenchExtras<'a> {
     pub shard_scaling: &'a [ShardScaling],
     /// Intra-run stage-pipelined replay at increasing batch sizes.
     pub batch_scaling: &'a [BatchScaling],
+    /// Crash-recovery cost at increasing journal checkpoint intervals.
+    pub recovery: Option<&'a RecoveryCurve>,
     /// Host state that produced the report.
     pub environment: Option<&'a EnvironmentInfo>,
     /// `accesses_per_second` of the previously checked-in report, for the
@@ -180,7 +225,7 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v6"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v7"));
     push_environment(&mut out, extras.environment);
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
@@ -249,6 +294,7 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
     }
     push_shard_scaling(&mut out, extras.shard_scaling);
     push_batch_scaling(&mut out, extras.batch_scaling);
+    push_recovery(&mut out, extras.recovery);
     push_reliability(&mut out, sweep, outcome);
     push_latency(&mut out, sweep, outcome);
     push_epoch_series(&mut out, outcome);
@@ -466,6 +512,43 @@ fn push_batch_scaling(out: &mut String, items: &[BatchScaling]) {
     out.push_str("  ],\n");
 }
 
+/// The `recovery` block: the recovery-time-vs-journal-interval curve plus
+/// the crash point it was measured at and the zero-loss invariants.
+fn push_recovery(out: &mut String, curve: Option<&RecoveryCurve>) {
+    let Some(curve) = curve else {
+        return;
+    };
+    if curve.points.is_empty() {
+        return;
+    }
+    out.push_str("  \"recovery\": {\n");
+    push_kv(out, 2, "scheme", &json_str(&curve.scheme));
+    push_kv(out, 2, "crash_access", &curve.crash_access.to_string());
+    push_kv(out, 2, "crash_stage", &json_str(&curve.crash_stage));
+    out.push_str("    \"curve\": [\n");
+    for (i, p) in curve.points.iter().enumerate() {
+        out.push_str("      {");
+        out.push_str(&format!(
+            "\"journal_every\": {}, \"recovery_ns\": {}, \"replay_reads\": {}, \
+             \"records_replayed\": {}, \"energy_pj\": {}, \"refcounts_leaked\": {}, \
+             \"lost_acknowledged_writes\": {}",
+            p.journal_every,
+            json_f64(p.recovery_ns),
+            p.replay_reads,
+            p.records_replayed,
+            p.energy_pj,
+            p.refcounts_leaked,
+            p.lost_acknowledged_writes
+        ));
+        out.push('}');
+        if i + 1 < curve.points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]\n  },\n");
+}
+
 /// The `environment` block: what machine state produced the report.
 fn push_environment(out: &mut String, env: Option<&EnvironmentInfo>) {
     let Some(env) = env else {
@@ -587,6 +670,31 @@ mod tests {
             debug_build: true,
             esd_env: vec![("ESD_BATCH".into(), "64".into())],
         };
+        let recovery = RecoveryCurve {
+            scheme: "ESD".into(),
+            crash_access: 2_000,
+            crash_stage: "mapping-update".into(),
+            points: vec![
+                RecoveryPoint {
+                    journal_every: 16,
+                    recovery_ns: 850.0,
+                    replay_reads: 5,
+                    records_replayed: 14,
+                    energy_pj: 9_000,
+                    refcounts_leaked: 0,
+                    lost_acknowledged_writes: 0,
+                },
+                RecoveryPoint {
+                    journal_every: 0,
+                    recovery_ns: 120_000.0,
+                    replay_reads: 4_096,
+                    records_replayed: 0,
+                    energy_pj: 2_000_000,
+                    refcounts_leaked: 0,
+                    lost_acknowledged_writes: 0,
+                },
+            ],
+        };
         assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
         let json = render_bench_json(
             &sweep,
@@ -599,11 +707,12 @@ mod tests {
                 structures: &structures,
                 shard_scaling: &shard_scaling,
                 batch_scaling: &batch_scaling,
+                recovery: Some(&recovery),
                 environment: Some(&environment),
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v6\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v7\""));
         assert!(json.contains("\"requested_threads\""));
         assert!(json.contains("\"effective_threads\""));
         assert!(json.contains("\"shard_scaling\": ["));
@@ -612,6 +721,15 @@ mod tests {
         assert!(json.contains("\"batch_scaling\": ["));
         assert!(json.contains("\"batch\": 64"));
         assert!(json.contains("\"speedup_vs_scalar\": 1.400000"));
+        assert!(json.contains("\"recovery\": {"));
+        assert!(json.contains("\"crash_access\": 2000"));
+        assert!(json.contains("\"crash_stage\": \"mapping-update\""));
+        assert!(json.contains("\"curve\": ["));
+        assert!(json.contains("\"journal_every\": 16"));
+        assert!(json.contains("\"journal_every\": 0"));
+        assert!(json.contains("\"recovery_ns\": 850.000000"));
+        assert_eq!(json.matches("\"lost_acknowledged_writes\": 0").count(), 2);
+        assert_eq!(json.matches("\"refcounts_leaked\": 0").count(), 2);
         assert!(json.contains("\"environment\": {"));
         assert!(json.contains("\"logical_cores\": 8"));
         assert!(json.contains("\"debug_build\": true"));
@@ -658,6 +776,7 @@ mod tests {
         assert!(!json.contains("structure_speedups"));
         assert!(!json.contains("shard_scaling"));
         assert!(!json.contains("batch_scaling"));
+        assert!(!json.contains("\"recovery\""));
         assert!(!json.contains("\"environment\""));
         assert!(!json.contains("previous_accesses_per_second"));
     }

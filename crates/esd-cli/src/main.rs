@@ -30,6 +30,13 @@
 //! `--scrub-every <accesses>` (with `--scrub-lines <N>` per tick) runs the
 //! background scrubber.
 //!
+//! Crash consistency (`run`/`compare`/`replay`): `--crash-at
+//! <access[:stage]>` injects a deterministic power-loss crash while that
+//! trace access is in flight at the named write-path stage (default
+//! `unique-write`) and recovers before replay resumes; `--journal-every
+//! <records>` checkpoints the metadata journal at that interval so recovery
+//! replays a bounded window instead of scanning all metadata (`0` = off).
+//!
 //! Observability flags (`run`/`replay`): `--metrics-json <file>` writes
 //! latency percentiles, epoch series, and the span-fed metrics registry;
 //! `--trace-events <file>` writes Chrome trace-event JSON (load in Perfetto
@@ -81,6 +88,10 @@ fn usage() -> &'static str {
      \x20                                 [--quantum <accesses>] (cross-slice sync quantum)\n\
      reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
      \x20                                 [--scrub-every <accesses>] [--scrub-lines N]\n\
+     crash (run/compare/replay):       [--crash-at <access[:stage]>] (inject a power-loss\n\
+     \x20                                 crash and recover; stage defaults to unique-write)\n\
+     \x20                                 [--journal-every <records>] (metadata journal\n\
+     \x20                                 checkpoint interval; 0 = off, scan on recovery)\n\
      observability (run/replay): [--metrics-json <file>] [--trace-events <file>]\n\
      \x20                           [--epoch-every <accesses>]"
 }
@@ -194,6 +205,26 @@ fn shard_options(
 /// Flag names for the batched replay engine, shared by `run`, `compare`
 /// and `replay`.
 const ENGINE_FLAGS: [&str; 2] = ["batch", "quantum"];
+
+/// Flag names for crash injection and journaling, shared by `run`,
+/// `compare` and `replay`.
+const CRASH_FLAGS: [&str; 2] = ["crash-at", "journal-every"];
+
+/// Applies the crash-consistency knobs: `--crash-at <access[:stage]>`
+/// injects a deterministic power-loss crash (recovery cost lands in the
+/// report's recovery block), `--journal-every <records>` sets the metadata
+/// journal's checkpoint interval (`0` disables journaling, so recovery
+/// falls back to a full metadata scan).
+fn crash_options(args: &Args, options: &mut RunOptions) -> Result<(), String> {
+    if let Some(raw) = args.get("crash-at") {
+        options.crash_at = Some(raw.parse().map_err(|e| format!("--crash-at: {e}"))?);
+    }
+    let journal: u64 = args
+        .get_parsed_or("journal-every", options.journal_every.unwrap_or(0))
+        .map_err(|e| e.to_string())?;
+    options.journal_every = (journal > 0).then_some(journal);
+    Ok(())
+}
 
 /// Applies the engine knobs: `--batch` sets the stage-pipeline block size
 /// (a pure host-speed knob — reports are identical at every batch size)
@@ -321,6 +352,7 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
         &["app", "scheme", "accesses", "seed", "shards"][..],
         &ENGINE_FLAGS[..],
+        &CRASH_FLAGS[..],
         &RELIABILITY_FLAGS[..],
         &OBS_FLAGS[..],
     ]
@@ -333,6 +365,7 @@ fn cmd_run(rest: Vec<String>) -> Result<(), String> {
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
     shard_options(&args, &config, &mut options)?;
+    crash_options(&args, &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
     engine_options(&args, trace.len(), &mut options)?;
@@ -346,6 +379,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
         &["app", "accesses", "seed", "extended", "shards"][..],
         &ENGINE_FLAGS[..],
+        &CRASH_FLAGS[..],
         &RELIABILITY_FLAGS[..],
     ]
     .concat();
@@ -357,6 +391,7 @@ fn cmd_compare(rest: Vec<String>) -> Result<(), String> {
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
     shard_options(&args, &config, &mut options)?;
+    crash_options(&args, &mut options)?;
     let trace = generate_trace(&app, seed, accesses);
     engine_options(&args, trace.len(), &mut options)?;
 
@@ -450,6 +485,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let allowed: Vec<&str> = [
         &["scheme", "shards"][..],
         &ENGINE_FLAGS[..],
+        &CRASH_FLAGS[..],
         &RELIABILITY_FLAGS[..],
         &OBS_FLAGS[..],
     ]
@@ -463,6 +499,7 @@ fn cmd_replay(rest: Vec<String>) -> Result<(), String> {
     let mut config = SystemConfig::default();
     let mut options = reliability_options(&args, &mut config)?;
     shard_options(&args, &config, &mut options)?;
+    crash_options(&args, &mut options)?;
     engine_options(&args, trace.len(), &mut options)?;
     let outputs = observability_options(&args, &mut options)?;
     let report = run_one(kind, &trace, &config, &options)?;

@@ -96,6 +96,12 @@ impl PhysicalAllocator {
     pub fn high_watermark(&self) -> u64 {
         self.next
     }
+
+    /// Iterates `(physical, refcount)` for every currently allocated line
+    /// (crash-recovery audit).
+    pub fn refcounts(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.refcounts.iter().map(|(addr, &count)| (addr, count))
+    }
 }
 
 #[cfg(test)]

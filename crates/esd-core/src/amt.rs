@@ -15,7 +15,7 @@ use esd_sim::{CacheStats, LruCache, NvmmSystem, Ps};
 pub const AMT_ENTRY_BYTES: usize = 9;
 
 /// Base address of the AMT's NVMM-resident region (far above data lines).
-const AMT_NVMM_BASE: u64 = 1 << 44;
+pub(crate) const AMT_NVMM_BASE: u64 = 1 << 44;
 
 /// AMT entries per 64-byte NVMM line.
 const ENTRIES_PER_LINE: u64 = (64 / AMT_ENTRY_BYTES) as u64;
@@ -125,6 +125,12 @@ impl Amt {
     #[must_use]
     pub fn peek(&self, logical: u64) -> Option<u64> {
         self.table.get(logical).copied()
+    }
+
+    /// Iterates the authoritative table's `(logical, physical)` mappings
+    /// without charging any time (crash-recovery audit).
+    pub fn mappings(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.table.iter().map(|(logical, &physical)| (logical, physical))
     }
 
     /// Translates a logical address, charging SRAM probe time and — on a

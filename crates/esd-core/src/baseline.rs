@@ -9,8 +9,8 @@ use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
 use esd_trace::CacheLine;
 
 use crate::scheme::{
-    decode_stored, DedupScheme, MetadataFootprint, ReadOutcome, ReadResult, SchemeKind,
-    SchemeStats, WriteResult,
+    decode_stored, write_latency, DedupScheme, MetadataFootprint, ReadOutcome, ReadResult,
+    SchemeKind, SchemeStats, WriteResult,
 };
 
 /// The no-deduplication baseline.
@@ -66,7 +66,7 @@ impl DedupScheme for Baseline {
         let ecc = esd_ecc::encode_line(&cipher).to_u64();
         let completion = self.nvmm.write_line(t, logical, cipher, ecc);
         self.obs.span("write", "device_write", t, completion.finish);
-        let latency = completion.finish.saturating_sub(now);
+        let latency = write_latency(now, completion.finish);
         self.breakdown.unique_write += latency;
         WriteResult {
             processing_done: t,

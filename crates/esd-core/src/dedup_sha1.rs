@@ -10,9 +10,10 @@ use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
 use esd_trace::CacheLine;
 
 use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::journal::{CrashStage, MetadataJournal, RecoverySummary};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
-    ShardCtx, WriteResult,
+    write_latency, Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind,
+    SchemeStats, ShardCtx, WriteResult,
 };
 
 /// Bytes per stored SHA-1 index entry: 20 B digest + 5 B physical address +
@@ -111,7 +112,7 @@ impl DedupScheme for DedupSha1 {
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 }
             }
@@ -131,12 +132,13 @@ impl DedupScheme for DedupSha1 {
                 // Figure 19 charges these schemes for).
                 core.alloc.incref(physical);
                 self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.journal_record(done);
                 core.publish(fp, physical, &line);
                 core.breakdown.unique_write += finish.saturating_sub(before_write);
                 WriteResult {
                     processing_done: done,
                     device_finish: Some(finish),
-                    latency: finish.saturating_sub(now),
+                    latency: write_latency(now, finish),
                     deduplicated: false,
                 }
             }
@@ -192,6 +194,19 @@ impl DedupScheme for DedupSha1 {
 
     fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
         self.store.prefetch(fingerprints);
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The NVMM-resident index survives; only its SRAM cache is lost.
+        self.store.drop_sram_cache();
+        let pins = self.store.pinned_physicals();
+        self.core
+            .recover(now, torn_write, &pins, self.store.scan_lines())
     }
 }
 

@@ -20,10 +20,11 @@ use esd_sim::{Energy, NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
 use esd_trace::CacheLine;
 
 use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::journal::{CrashStage, MetadataJournal, RecoverySummary};
 use crate::predictor::DupPredictor;
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
-    ShardCtx, WriteResult,
+    write_latency, Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind,
+    SchemeStats, ShardCtx, WriteResult,
 };
 
 /// Bytes per stored CRC index entry (the paper cites 16 B + 3 bits per
@@ -148,7 +149,7 @@ impl DedupScheme for DeWrite {
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 };
             }
@@ -192,13 +193,14 @@ impl DedupScheme for DeWrite {
             // Index entries pin their lines: full dedup never reclaims.
             core.alloc.incref(physical);
             self.store.insert(done, fp, physical, &mut core.nvmm);
+            core.journal_record(done);
             core.publish(fp, physical, &line);
         }
         core.breakdown.unique_write += finish.saturating_sub(before_write);
         WriteResult {
             processing_done: done,
             device_finish: Some(finish),
-            latency: finish.saturating_sub(now),
+            latency: write_latency(now, finish),
             deduplicated: false,
         }
     }
@@ -256,6 +258,20 @@ impl DedupScheme for DeWrite {
 
     fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
         self.store.prefetch(fingerprints);
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The CRC index's authoritative copy is in NVMM; the predictor is
+        // advisory SRAM whose loss only costs prediction accuracy.
+        self.store.drop_sram_cache();
+        let pins = self.store.pinned_physicals();
+        self.core
+            .recover(now, torn_write, &pins, self.store.scan_lines())
     }
 }
 

@@ -236,6 +236,19 @@ impl Efit {
         self.entries.values().map(|slot| slot.physical).collect()
     }
 
+    /// Empties the table as a power-loss event would (the EFIT is SRAM-only
+    /// and advisory), while preserving every configuration knob: capacity,
+    /// replacement policy, and any decay-interval override a sensitivity
+    /// study has set. Statistics reset with the contents.
+    pub fn reset(&mut self) {
+        self.entries = U64Map::with_capacity(self.capacity);
+        self.order = BTreeSet::new();
+        self.by_physical = U64Map::with_capacity(self.capacity);
+        self.stamp_counter = 0;
+        self.ops_since_decay = 0;
+        self.stats = CacheStats::default();
+    }
+
     /// Drops the entry (if any) whose target physical line was freed, so a
     /// stale fingerprint can never dedup against recycled storage.
     pub fn invalidate_physical(&mut self, physical: u64) {

@@ -24,9 +24,10 @@ use esd_sim::{NvmmSystem, Ps, SystemConfig, WriteLatencyBreakdown};
 use esd_trace::CacheLine;
 
 use crate::efit::{Efit, EfitPolicy, REFER_MAX};
+use crate::journal::{CrashStage, MetadataJournal, RecoverySummary};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
-    ShardCtx, WriteResult,
+    write_latency, Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind,
+    SchemeStats, ShardCtx, WriteResult,
 };
 
 /// The ESD scheme.
@@ -125,17 +126,24 @@ impl Esd {
     /// Encryption counters are persisted with eADR and survive.
     ///
     /// Every reference-count pin held by the discarded EFIT is released.
+    /// The EFIT's configuration — capacity, policy and any decay-interval
+    /// override — survives the crash (it is controller provisioning, not
+    /// volatile state).
     pub fn crash_and_recover(&mut self) {
-        // Release the EFIT's pins before discarding it.
+        self.release_efit_pins();
+        self.core.amt.drop_sram_cache();
+    }
+
+    /// Releases the EFIT's reference-count pins and empties it in place
+    /// (preserving its configured knobs). Returns how many pins dropped.
+    fn release_efit_pins(&mut self) -> u64 {
         let pinned: Vec<u64> = self.efit.pinned_physicals();
+        let released = pinned.len() as u64;
         for physical in pinned {
             self.core.alloc.decref(physical);
         }
-        self.efit = Efit::new(
-            (self.efit.capacity() * crate::efit::EFIT_ENTRY_BYTES) as u64,
-            self.efit.policy(),
-        );
-        self.core.amt.drop_sram_cache();
+        self.efit.reset();
+        released
     }
 
     fn write_as_unique(&mut self, now: Ps, t: Ps, logical: u64, line: &CacheLine, fp: u64) -> WriteResult {
@@ -154,7 +162,7 @@ impl Esd {
         WriteResult {
             processing_done: done,
             device_finish: Some(finish),
-            latency: finish.saturating_sub(now),
+            latency: write_latency(now, finish),
             deduplicated: false,
         }
     }
@@ -254,7 +262,7 @@ impl DedupScheme for Esd {
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 }
             }
@@ -314,6 +322,21 @@ impl DedupScheme for Esd {
 
     fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
         Some(crate::scheme::FingerprintSpec::Ecc(self.codec))
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The EFIT is advisory SRAM: its pins evaporate with power. ESD
+        // keeps no NVMM fingerprint index, so recovery only rebuilds the
+        // AMT view (index scan cost zero when journaling is off).
+        let pins_released = self.release_efit_pins();
+        let mut summary = self.core.recover(now, torn_write, &[], 0);
+        summary.pins_released = pins_released;
+        summary
     }
 }
 

@@ -145,6 +145,28 @@ impl FingerprintStore {
         (self.nvmm_lookups, self.nvmm_insert_writes)
     }
 
+    /// Drops every SRAM-cached entry, as a power-loss event would. The
+    /// authoritative NVMM-resident index survives.
+    pub fn drop_sram_cache(&mut self) {
+        let keys: Vec<u64> = self.cache.iter().map(|(k, _)| *k).collect();
+        for key in keys {
+            self.cache.remove(&key);
+        }
+    }
+
+    /// Physical lines pinned by index entries (one reference per entry;
+    /// full-dedup indexes never release their lines).
+    #[must_use]
+    pub fn pinned_physicals(&self) -> Vec<u64> {
+        self.by_physical.keys().collect()
+    }
+
+    /// NVMM lines a journal-less recovery must scan to rebuild this index.
+    #[must_use]
+    pub fn scan_lines(&self) -> u64 {
+        self.nvmm_bytes().div_ceil(64)
+    }
+
     /// Looks up a fingerprint, charging SRAM time and — on a cache miss —
     /// one NVMM metadata read (paid whether or not the fingerprint exists).
     pub fn lookup(&mut self, now: Ps, fingerprint: u64, nvmm: &mut NvmmSystem) -> FpLookup {

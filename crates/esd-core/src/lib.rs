@@ -54,6 +54,7 @@ mod dewrite;
 mod efit;
 mod esd;
 mod fpstore;
+mod journal;
 mod predictor;
 mod report;
 mod runner;
@@ -71,6 +72,9 @@ pub use dewrite::{DeWrite, DEWRITE_ENTRY_BYTES};
 pub use efit::{Efit, EfitEntry, EfitPolicy, EFIT_ENTRY_BYTES, REFER_MAX};
 pub use esd::Esd;
 pub use fpstore::{FingerprintStore, FpLookup, LookupSource};
+pub use journal::{
+    CrashPoint, CrashStage, MetadataJournal, RecoveryReport, RecoverySummary, JOURNAL_NVMM_BASE,
+};
 pub use predictor::{DupPredictor, PredictorStats};
 pub use report::{Normalized, ReliabilityReport, RunReport};
 pub use runner::{

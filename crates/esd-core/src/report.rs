@@ -5,6 +5,7 @@ use esd_sim::{
     CacheStats, Energy, FaultStats, LatencyHistogram, PcmStats, Ps, WriteLatencyBreakdown,
 };
 
+use crate::journal::RecoveryReport;
 use crate::predictor::PredictorStats;
 use crate::scheme::{MetadataFootprint, SchemeKind, SchemeStats};
 use crate::scrub::ScrubStats;
@@ -67,6 +68,11 @@ pub struct RunReport {
     /// trace events and the metrics registry. `None` unless the run enabled
     /// tracing via [`crate::RunOptions::observe`].
     pub obs: Option<Obs>,
+    /// What the injected power-loss crash cost to recover from: merged
+    /// across slices (counters and energy summed, latency the slowest
+    /// slice). `None` unless the run injected a crash via
+    /// [`crate::RunOptions::crash_at`].
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {
@@ -187,6 +193,28 @@ impl RunReport {
                 self.reliability.scrub.lines_uncorrectable
             );
         }
+        if let Some(r) = &self.recovery {
+            let journal = match r.journal_interval {
+                Some(n) => format!("journal every {n}"),
+                None => "no journal (full scan)".into(),
+            };
+            let _ = writeln!(
+                out,
+                "  recovery: crash at access {} ({}), {}; {} records replayed over \
+                 {} reads, {} pins released, {} torn rollbacks, {} refcounts leaked, \
+                 latency {} energy {} pJ",
+                r.crash_access,
+                r.crash_stage,
+                journal,
+                r.records_replayed,
+                r.replay_reads,
+                r.pins_released,
+                r.torn_rollbacks,
+                r.refcounts_leaked,
+                r.latency,
+                r.energy_pj
+            );
+        }
         out
     }
 }
@@ -270,6 +298,7 @@ mod tests {
             epochs: Vec::new(),
             predictor: None,
             obs: None,
+            recovery: None,
         }
     }
 

@@ -11,6 +11,7 @@ use crate::baseline::Baseline;
 use crate::dedup_sha1::DedupSha1;
 use crate::dewrite::DeWrite;
 use crate::esd::Esd;
+use crate::journal::CrashPoint;
 use crate::report::RunReport;
 use crate::scheme::{DedupScheme, SchemeKind};
 use crate::variants::{EsdFull, EsdNoVerify, HashDedup};
@@ -104,6 +105,25 @@ pub struct RunOptions {
     /// Defaults to the `ESD_QUANTUM` environment variable (unset → 4096,
     /// the engine's historical `SYNC_QUANTUM`).
     pub quantum: u32,
+    /// Inject a power-loss crash at this trace access (and write-path
+    /// stage), then run the scheme's recovery routine before the access
+    /// re-executes. The access index counts from 0 and must be within the
+    /// trace; the crash fires when replay reaches it, on every slice at
+    /// once (power loss is global). Recovery cost lands in
+    /// [`RunReport::recovery`]. `None` (the default) replays without
+    /// injection and leaves the report byte-identical to earlier versions.
+    /// Defaults to the `ESD_CRASH_AT` environment variable
+    /// (`access[:stage]`, unset → `None`).
+    pub crash_at: Option<CrashPoint>,
+    /// Checkpoint the metadata journal every this many journaled records.
+    /// `None` disables journaling: recovery then rebuilds by scanning the
+    /// full NVMM-resident metadata regions instead of replaying a bounded
+    /// window — correct either way, but recovery time scales with the
+    /// choice (the tradeoff `BENCH_sweep`'s recovery curve measures).
+    /// Journal writes are posted metadata traffic: they cost energy and
+    /// bank occupancy, never write latency. Defaults to the
+    /// `ESD_JOURNAL_EVERY` environment variable (unset or `0` → `None`).
+    pub journal_every: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -118,6 +138,8 @@ impl Default for RunOptions {
             shards: default_shards(),
             batch: default_batch(),
             quantum: default_quantum(),
+            crash_at: default_crash_at(),
+            journal_every: default_journal_every(),
         }
     }
 }
@@ -138,11 +160,56 @@ fn default_quantum() -> u32 {
     env_knob("ESD_QUANTUM", DEFAULT_QUANTUM)
 }
 
+/// The default crash injection point: `ESD_CRASH_AT` parsed as
+/// `access[:stage]` when set, else `None` (no injection).
+fn default_crash_at() -> Option<CrashPoint> {
+    match std::env::var("ESD_CRASH_AT") {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(point) => Some(point),
+            Err(err) => {
+                eprintln!("warning: ignoring ESD_CRASH_AT={raw:?} ({err}); crash injection stays off");
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// The default journal checkpoint interval: `ESD_JOURNAL_EVERY` when set
+/// to a positive integer, else `None` (journaling off). `0` means off.
+fn default_journal_every() -> Option<u64> {
+    match std::env::var("ESD_JOURNAL_EVERY") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(interval) => Some(interval),
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring ESD_JOURNAL_EVERY={raw:?} (expected an integer); journaling stays off"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// Reads an integer knob from the environment. A set-but-malformed value
+/// warns on stderr (matching `ESD_THREADS` in `esd-bench`) instead of
+/// silently falling back — silent fallback meant a typo like
+/// `ESD_SHARDS=4x` quietly ran single-threaded.
 fn env_knob(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring {name}={raw:?} (expected an integer); using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// The built-in batch-block size when `ESD_BATCH` is unset.
@@ -440,6 +507,30 @@ mod tests {
         assert!(p.total() > 0, "outcomes must be scored");
         let base = replay(SchemeKind::Baseline, &trace, &config).unwrap();
         assert!(base.predictor.is_none(), "Baseline does not predict");
+    }
+
+    #[test]
+    fn env_knob_warns_and_falls_back_on_malformed_values() {
+        // Unique variable names: tests in this binary run concurrently and
+        // the environment is process-global.
+        std::env::set_var("ESD_CORE_TEST_KNOB_BAD", "4x");
+        assert_eq!(env_knob("ESD_CORE_TEST_KNOB_BAD", 7), 7);
+        std::env::set_var("ESD_CORE_TEST_KNOB_GOOD", " 12 ");
+        assert_eq!(env_knob("ESD_CORE_TEST_KNOB_GOOD", 7), 12);
+        assert_eq!(env_knob("ESD_CORE_TEST_KNOB_UNSET", 7), 7);
+        std::env::remove_var("ESD_CORE_TEST_KNOB_BAD");
+        std::env::remove_var("ESD_CORE_TEST_KNOB_GOOD");
+    }
+
+    #[test]
+    fn crash_and_journal_options_default_off() {
+        // Without the ESD_CRASH_AT / ESD_JOURNAL_EVERY environment knobs,
+        // the new options stay off and replay is unchanged.
+        std::env::remove_var("ESD_CRASH_AT");
+        std::env::remove_var("ESD_JOURNAL_EVERY");
+        let options = RunOptions::default();
+        assert_eq!(options.crash_at, None);
+        assert_eq!(options.journal_every, None);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use esd_trace::CacheLine;
 use crate::alloc::PhysicalAllocator;
 use crate::amt::Amt;
 use crate::counter_cache::CounterCache;
+use crate::journal::{CrashStage, MetadataJournal, RecoverySummary};
 
 /// Identifies the four evaluated schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +197,19 @@ pub struct SchemeStats {
     /// Energy spent on fingerprints and cryptography (device energy is in
     /// the PCM statistics).
     pub compute_energy: Energy,
+}
+
+/// `finish - start` for a write's end-to-end latency. A completion before
+/// its start is a timing-attribution bug; surface it instead of flattening
+/// it to zero latency.
+pub(crate) fn write_latency(start: Ps, finish: Ps) -> Ps {
+    debug_assert!(
+        finish >= start,
+        "write finished at {finish} before it started at {start}"
+    );
+    finish
+        .checked_sub(start)
+        .expect("write completion must not precede its arrival")
 }
 
 /// NVMM- and SRAM-resident metadata footprint (paper Figure 19).
@@ -386,6 +400,29 @@ pub trait DedupScheme: Send {
     fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
         let _ = fingerprints;
     }
+
+    /// Sets the metadata-journal checkpoint interval (in records) before
+    /// replay starts; `None` disables journaling, making recovery pay a
+    /// full metadata scan instead of a journal-tail replay. The default
+    /// ignores it — correct for schemes with no durable dedup metadata
+    /// (Baseline).
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        let _ = interval;
+    }
+
+    /// Simulates a power loss at `now` with an access in flight at `stage`
+    /// and recovers this scheme to a consistent state: advisory SRAM
+    /// structures are dropped, durable metadata is replayed from the
+    /// journal (or rebuilt by a full scan), and — when `torn_write` — the
+    /// in-flight access's torn tail record is detected and rolled back.
+    ///
+    /// The default models a scheme with no durable dedup metadata: the
+    /// torn in-flight line never reached an acknowledgment, the interrupted
+    /// access simply re-executes, and recovery is free.
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = (stage, torn_write);
+        RecoverySummary::trivial(now)
+    }
 }
 
 /// The fingerprint function a scheme's write path applies to line content,
@@ -434,6 +471,12 @@ pub(crate) struct Core {
     /// Cross-slice dedup context; `None` outside the sharded replay
     /// engine (then all remote paths are dead code).
     pub shard: Option<ShardCtx>,
+    /// NVMM-resident metadata journal (disabled unless the run sets a
+    /// checkpoint interval).
+    pub journal: MetadataJournal,
+    /// Permanent directory-publish pins this slice has taken, by physical
+    /// line — the recovery refcount audit's record of intentional pins.
+    pub publish_pins: U64Map<u64>,
 }
 
 impl Core {
@@ -454,7 +497,15 @@ impl Core {
                 .then(|| CounterCache::new(config.controller.counter_cache_bytes)),
             obs: Obs::disabled(),
             shard: None,
+            journal: MetadataJournal::default(),
+            publish_pins: U64Map::new(),
         }
+    }
+
+    /// Appends one metadata-journal record at `t` (posted NVMM traffic:
+    /// energy and bank occupancy only, never write latency).
+    pub fn journal_record(&mut self, t: Ps) {
+        self.journal.record(t, &mut self.nvmm);
     }
 
     /// Charges one cryptographic operation's energy.
@@ -506,7 +557,9 @@ impl Core {
         }
         self.alloc.incref(physical);
         self.release_old_mapping(logical, Some(physical), on_free);
-        self.amt.update(t, logical, physical, &mut self.nvmm)
+        let done = self.amt.update(t, logical, physical, &mut self.nvmm);
+        self.journal_record(done);
+        done
     }
 
     /// Remaps `logical` onto a line owned by another replay slice: installs
@@ -531,6 +584,7 @@ impl Core {
         }
         self.release_old_mapping(logical, None, on_free);
         let done = self.amt.update(t, logical, REMOTE_SENTINEL, &mut self.nvmm);
+        self.journal_record(done);
         self.shard
             .as_mut()
             .expect("remote remap requires a shard context")
@@ -606,7 +660,7 @@ impl Core {
         RemoteProbe::Dedup(WriteResult {
             processing_done: done,
             device_finish: None,
-            latency: done.saturating_sub(now),
+            latency: write_latency(now, done),
             deduplicated: true,
         })
     }
@@ -635,6 +689,8 @@ impl Core {
         };
         ctx.publishes.push((fingerprint, entry));
         self.alloc.incref(physical);
+        let pins = self.publish_pins.get(physical).copied().unwrap_or(0);
+        self.publish_pins.insert(physical, pins + 1);
     }
 
     /// Encrypts and writes a unique line at a freshly allocated physical
@@ -666,6 +722,7 @@ impl Core {
         let completion = self.nvmm.write_line(t, physical, cipher, ecc);
         self.obs.span("write", "device_write", t, completion.finish);
         let processing_done = self.amt.update(t, logical, physical, &mut self.nvmm);
+        self.journal_record(processing_done);
         self.stats.writes_unique += 1;
         (processing_done, completion.finish, physical)
     }
@@ -781,6 +838,114 @@ impl Core {
                 data: CacheLine::ZERO,
                 outcome: ReadOutcome::Unmapped,
             },
+        }
+    }
+
+    /// Power-loss recovery over this core's durable metadata.
+    ///
+    /// Drops the advisory AMT SRAM cache, detects and rolls back a torn
+    /// tail record (`torn_write`), replays the journal window since the
+    /// last checkpoint — or, with journaling off, scans the authoritative
+    /// AMT region plus the scheme's index region (`index_scan_lines`) to
+    /// rebuild — then folds a fresh checkpoint and audits the allocator's
+    /// reference counts against the rebuilt mapping state. `index_pins`
+    /// are the physical lines the scheme's durable fingerprint index pins
+    /// (one reference each); EFIT pins must be released by the caller
+    /// *before* recovery since the EFIT is advisory SRAM.
+    ///
+    /// All recovery traffic is charged as chained NVMM metadata reads (plus
+    /// the checkpoint's posted write), so recovery latency and energy scale
+    /// with the journal interval — the tradeoff BENCH_sweep's recovery
+    /// curve measures.
+    pub fn recover(
+        &mut self,
+        now: Ps,
+        torn_write: bool,
+        index_pins: &[u64],
+        index_scan_lines: u64,
+    ) -> RecoverySummary {
+        let energy_before = self.nvmm.stats().total_energy().as_pj();
+        self.amt.drop_sram_cache();
+        let mut t = now;
+        let mut replay_reads = 0u64;
+        let mut torn_rollbacks = 0u64;
+        if torn_write {
+            // The in-flight write reached durable structures but its tail
+            // record never committed: detection reads the journal tail (a
+            // scan finds the tear as part of the rebuild) and the record is
+            // rolled back. The access was never acknowledged; the engine
+            // re-executes it after recovery, so nothing acknowledged is
+            // lost.
+            if self.journal.enabled() {
+                let completion = self.nvmm.metadata_read(t, self.journal.line_addr());
+                t = completion.finish;
+                replay_reads += 1;
+            }
+            torn_rollbacks = 1;
+        }
+        let records_replayed = self.journal.records_since_checkpoint();
+        if self.journal.enabled() {
+            // Replay: checkpoint root plus every journal line in the window,
+            // read back in order.
+            for _ in 0..self.journal.replay_reads() {
+                let completion = self.nvmm.metadata_read(t, self.journal.line_addr());
+                t = completion.finish;
+                replay_reads += 1;
+            }
+        } else {
+            // No journal: rebuild by scanning the authoritative AMT region
+            // and the scheme's index region line by line.
+            let scan_lines = self.amt.nvmm_bytes().div_ceil(64) + index_scan_lines;
+            for i in 0..scan_lines {
+                let completion = self
+                    .nvmm
+                    .metadata_read(t, crate::amt::AMT_NVMM_BASE + i * 64);
+                t = completion.finish;
+            }
+            replay_reads += scan_lines;
+        }
+        // Start the post-crash epoch from a clean checkpoint.
+        self.journal.checkpoint(t, &mut self.nvmm);
+        self.obs.span("crash", "recovery", now, t);
+
+        // Refcount audit: every allocated line's count must equal the
+        // references the rebuilt metadata holds on it — AMT mappings (the
+        // remote sentinel pins nothing locally), the scheme's index pins,
+        // and this slice's intentional directory-publish pins.
+        let mut expected: U64Map<u64> = U64Map::new();
+        let expect = |map: &mut U64Map<u64>, physical: u64, n: u64| {
+            let count = map.get(physical).copied().unwrap_or(0);
+            map.insert(physical, count + n);
+        };
+        for (_logical, physical) in self.amt.mappings() {
+            if physical != REMOTE_SENTINEL {
+                expect(&mut expected, physical, 1);
+            }
+        }
+        for &physical in index_pins {
+            expect(&mut expected, physical, 1);
+        }
+        for (physical, &pins) in self.publish_pins.iter() {
+            expect(&mut expected, physical, pins);
+        }
+        let mut leaked = 0u64;
+        for (physical, count) in self.alloc.refcounts() {
+            let wanted = expected.remove(physical).unwrap_or(0);
+            leaked += u64::from(count).abs_diff(wanted);
+        }
+        for (_physical, &wanted) in expected.iter() {
+            leaked += wanted; // expected pins on lines no longer allocated
+        }
+
+        RecoverySummary {
+            finish: t,
+            latency: t.saturating_sub(now),
+            records_replayed,
+            replay_reads,
+            pins_released: 0,
+            torn_rollbacks,
+            refcounts_leaked: leaked,
+            energy_pj: self.nvmm.stats().total_energy().as_pj() - energy_before,
         }
     }
 }

@@ -42,6 +42,7 @@ use esd_sim::{
 };
 use esd_trace::{AccessKind, CacheLine, Trace};
 
+use crate::journal::{CrashStage, RecoveryReport, RecoverySummary};
 use crate::predictor::PredictorStats;
 use crate::report::{ReliabilityReport, RunReport};
 use crate::runner::{RunOptions, VerifyError};
@@ -123,6 +124,9 @@ struct SliceState {
     marks: Vec<SliceMark>,
     error: Option<VerifyError>,
     buffers: BatchBuffers,
+    /// What recovery cost this slice after an injected crash (`None` when
+    /// no crash fired).
+    recovery: Option<RecoverySummary>,
 }
 
 impl SliceState {
@@ -340,6 +344,22 @@ fn process_quantum(
             replay_access(slice, trace, options, epoch_n, g, exec, fp);
         }
     }
+}
+
+/// Injects the power-loss crash into one slice: the scheme loses its
+/// volatile state and runs recovery from its slice-local current time,
+/// with the core stalled (as a read stall) until recovery finishes. Power
+/// loss is global, so every slice recovers concurrently — the merged
+/// report takes the max latency across slices. `torn_slice` names the
+/// slice whose in-flight metadata write was torn (the owner of the crash
+/// access, when that access is a write and the crash stage mutates durable
+/// metadata).
+fn crash_slice(slice: &mut SliceState, stage: CrashStage, torn_slice: Option<usize>) {
+    let torn = torn_slice == Some(slice.index);
+    let now = slice.cpu.now();
+    let summary = slice.scheme.crash_recover_at(now, stage, torn);
+    slice.cpu.stall_until(summary.finish);
+    slice.recovery = Some(summary);
 }
 
 /// Moves a slice's queued directory publishes into its slot for the merger.
@@ -582,6 +602,7 @@ pub(crate) fn run_sharded(
             if let Some(slot) = scheme.shard_slot() {
                 *slot = Some(ShardCtx::new(s as u32, Arc::clone(&directory)));
             }
+            scheme.journal_configure(options.journal_every);
             if options.observe {
                 if let Some(obs) = scheme.obs_mut() {
                     *obs = Obs::enabled(options.trace_capacity);
@@ -606,6 +627,7 @@ pub(crate) fn run_sharded(
                 marks: Vec::with_capacity(num_epochs),
                 error: None,
                 buffers: BatchBuffers::default(),
+                recovery: None,
             }
         })
         .collect();
@@ -616,13 +638,43 @@ pub(crate) fn run_sharded(
     // host-speed knob (report-invisible by construction).
     let quantum = crate::runner::effective_quantum(options.quantum, trace.len());
     let batch = crate::runner::effective_batch(options.batch);
+    // Resolve the injected crash once: a point beyond the trace never
+    // fires. The crash is a *replay boundary*: every access before it
+    // completes and is acknowledged, the power loss hits while access
+    // `g` is in flight at the configured stage, recovery runs, and replay
+    // resumes *at* `g` — the in-flight access was never acknowledged, so
+    // re-executing it is exactly what real hardware sees. The boundary is
+    // a pure function of the crash point (quanta are capped at `g`), so
+    // thread count and batch size still cannot change the report.
+    let crash: Option<(u32, CrashStage)> = options.crash_at.and_then(|point| {
+        u32::try_from(point.access)
+            .ok()
+            .filter(|&g| g < total)
+            .map(|g| (g, point.stage))
+    });
+    // The torn slice: the owner of the crash access, when that access is a
+    // write and the stage it crashed in mutates durable metadata.
+    let torn_slice: Option<usize> = crash.and_then(|(g, stage)| {
+        let access = &trace.accesses[g as usize];
+        (matches!(access.kind, AccessKind::Write) && stage.tears_metadata())
+            .then(|| slice_of(access.addr, nslices as u32) as usize)
+    });
     let slots: Vec<Mutex<Vec<(u64, RemoteEntry)>>> =
         (0..nslices).map(|_| Mutex::new(Vec::new())).collect();
 
     if threads <= 1 {
         let mut start = 0u32;
         while start < total {
-            let end = total.min(start.saturating_add(quantum));
+            let mut end = total.min(start.saturating_add(quantum));
+            if let Some((g, stage)) = crash {
+                if start == g {
+                    for slice in slices.iter_mut() {
+                        crash_slice(slice, stage, torn_slice);
+                    }
+                } else if start < g && g < end {
+                    end = g;
+                }
+            }
             for slice in slices.iter_mut() {
                 process_quantum(slice, trace, options, end, batch);
                 drain_publishes(slice, &slots);
@@ -646,7 +698,19 @@ pub(crate) fn run_sharded(
                 scope.spawn(move || {
                     let mut start = 0u32;
                     while start < total {
-                        let end = total.min(start.saturating_add(quantum));
+                        // Every worker derives the same boundary (and the
+                        // same crash firing) from `start` alone, so the
+                        // barriers stay aligned.
+                        let mut end = total.min(start.saturating_add(quantum));
+                        if let Some((g, stage)) = crash {
+                            if start == g {
+                                for slice in chunk.iter_mut() {
+                                    crash_slice(slice, stage, torn_slice);
+                                }
+                            } else if start < g && g < end {
+                                end = g;
+                            }
+                        }
                         for slice in chunk.iter_mut() {
                             process_quantum(slice, trace, options, end, batch);
                             drain_publishes(slice, slots);
@@ -739,6 +803,33 @@ pub(crate) fn run_sharded(
     let obs = options
         .observe
         .then(|| merge_obs(&mut slices, &epochs, options.trace_capacity));
+    // Slices recover concurrently after a global power loss: counters and
+    // energy sum, wall-clock recovery latency is the slowest slice.
+    let recovery = options.crash_at.and_then(|point| {
+        let mut merged: Option<RecoveryReport> = None;
+        for summary in slices.iter().filter_map(|s| s.recovery.as_ref()) {
+            let r = merged.get_or_insert(RecoveryReport {
+                crash_access: point.access,
+                crash_stage: point.stage,
+                journal_interval: options.journal_every,
+                records_replayed: 0,
+                replay_reads: 0,
+                pins_released: 0,
+                torn_rollbacks: 0,
+                refcounts_leaked: 0,
+                latency: Ps::ZERO,
+                energy_pj: 0,
+            });
+            r.records_replayed += summary.records_replayed;
+            r.replay_reads += summary.replay_reads;
+            r.pins_released += summary.pins_released;
+            r.torn_rollbacks += summary.torn_rollbacks;
+            r.refcounts_leaked += summary.refcounts_leaked;
+            r.latency = r.latency.max(summary.latency);
+            r.energy_pj += summary.energy_pj;
+        }
+        merged
+    });
 
     Ok(RunReport {
         scheme: template.kind(),
@@ -763,5 +854,6 @@ pub(crate) fn run_sharded(
         epochs,
         predictor,
         obs,
+        recovery,
     })
 }

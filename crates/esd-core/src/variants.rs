@@ -9,9 +9,10 @@ use esd_trace::CacheLine;
 
 use crate::efit::{Efit, EfitPolicy, REFER_MAX};
 use crate::fpstore::{FingerprintStore, LookupSource};
+use crate::journal::{CrashStage, MetadataJournal, RecoverySummary};
 use crate::scheme::{
-    Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind, SchemeStats,
-    ShardCtx, WriteResult,
+    write_latency, Core, DedupScheme, MetadataFootprint, ReadResult, RemoteProbe, SchemeKind,
+    SchemeStats, ShardCtx, WriteResult,
 };
 
 /// Bytes per stored MD5 index entry: 16 B digest + 5 B physical address +
@@ -164,7 +165,7 @@ impl DedupScheme for HashDedup {
                 WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 }
             }
@@ -183,12 +184,13 @@ impl DedupScheme for HashDedup {
                 // Index entries pin their lines: full dedup never reclaims.
                 core.alloc.incref(physical);
                 self.store.insert(done, fp, physical, &mut core.nvmm);
+                core.journal_record(done);
                 core.publish(fp, physical, &line);
                 core.breakdown.unique_write += finish.saturating_sub(before_write);
                 WriteResult {
                     processing_done: done,
                     device_finish: Some(finish),
-                    latency: finish.saturating_sub(now),
+                    latency: write_latency(now, finish),
                     deduplicated: false,
                 }
             }
@@ -252,6 +254,19 @@ impl DedupScheme for HashDedup {
 
     fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
         self.store.prefetch(fingerprints);
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The NVMM-resident index survives; only its SRAM cache is lost.
+        self.store.drop_sram_cache();
+        let pins = self.store.pinned_physicals();
+        self.core
+            .recover(now, torn_write, &pins, self.store.scan_lines())
     }
 }
 
@@ -336,7 +351,7 @@ impl DedupScheme for EsdFull {
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 };
             }
@@ -357,13 +372,14 @@ impl DedupScheme for EsdFull {
             // Index entries pin their lines: full dedup never reclaims.
             core.alloc.incref(physical);
             self.store.insert(done, fp, physical, &mut core.nvmm);
+            core.journal_record(done);
         }
         core.publish(fp, physical, &line);
         core.breakdown.unique_write += finish.saturating_sub(before_write);
         WriteResult {
             processing_done: done,
             device_finish: Some(finish),
-            latency: finish.saturating_sub(now),
+            latency: write_latency(now, finish),
             deduplicated: false,
         }
     }
@@ -417,6 +433,19 @@ impl DedupScheme for EsdFull {
 
     fn prefetch_fingerprints(&mut self, fingerprints: &[u64]) {
         self.store.prefetch(fingerprints);
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The NVMM-resident index survives; only its SRAM cache is lost.
+        self.store.drop_sram_cache();
+        let pins = self.store.pinned_physicals();
+        self.core
+            .recover(now, torn_write, &pins, self.store.scan_lines())
     }
 }
 
@@ -480,7 +509,7 @@ impl DedupScheme for EsdNoVerify {
                 return WriteResult {
                     processing_done: done,
                     device_finish: None,
-                    latency: done.saturating_sub(now),
+                    latency: write_latency(now, done),
                     deduplicated: true,
                 };
             }
@@ -506,7 +535,7 @@ impl DedupScheme for EsdNoVerify {
         WriteResult {
             processing_done: done,
             device_finish: Some(finish),
-            latency: finish.saturating_sub(now),
+            latency: write_latency(now, finish),
             deduplicated: false,
         }
     }
@@ -552,6 +581,25 @@ impl DedupScheme for EsdNoVerify {
 
     fn fingerprint_spec(&self) -> Option<crate::scheme::FingerprintSpec> {
         Some(crate::scheme::FingerprintSpec::Ecc(esd_ecc::EccCodec::Hamming))
+    }
+
+    fn journal_configure(&mut self, interval: Option<u64>) {
+        self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
+        let _ = stage;
+        // The EFIT is advisory SRAM: its pins vanish with power, so the
+        // lines they held alive go back to refcount parity before the audit.
+        let pinned: Vec<u64> = self.efit.pinned_physicals();
+        let pins_released = pinned.len() as u64;
+        for physical in pinned {
+            self.core.alloc.decref(physical);
+        }
+        self.efit.reset();
+        let mut summary = self.core.recover(now, torn_write, &[], 0);
+        summary.pins_released = pins_released;
+        summary
     }
 }
 

@@ -169,6 +169,16 @@ impl CpuModel {
         }
     }
 
+    /// Stalls the core until `finish`, charging the wait as read stall —
+    /// the core is blocked on memory-controller recovery exactly as it
+    /// would be on demand-read data.
+    pub fn stall_until(&mut self, finish: Ps) {
+        if finish > self.now {
+            self.stats.read_stall += finish - self.now;
+            self.now = finish;
+        }
+    }
+
     /// Write-buffer slots currently occupied: admitted writes whose device
     /// completion lies in the future of the CPU clock.
     #[must_use]
@@ -284,5 +294,17 @@ mod tests {
     #[should_panic(expected = "write buffer needs at least one slot")]
     fn zero_depth_panics() {
         let _ = CpuModel::new(CpuConfig::default(), 0);
+    }
+
+    #[test]
+    fn stall_until_charges_read_stall() {
+        let mut cpu = cpu();
+        cpu.stall_until(Ps::from_ns(120));
+        assert_eq!(cpu.now(), Ps::from_ns(120));
+        assert_eq!(cpu.stats().read_stall, Ps::from_ns(120));
+        // Stalling to the past is a no-op.
+        cpu.stall_until(Ps::from_ns(20));
+        assert_eq!(cpu.now(), Ps::from_ns(120));
+        assert_eq!(cpu.stats().read_stall, Ps::from_ns(120));
     }
 }

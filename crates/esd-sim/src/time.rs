@@ -69,6 +69,14 @@ impl Ps {
     pub fn saturating_sub(self, other: Ps) -> Ps {
         Ps(self.0.saturating_sub(other.0))
     }
+
+    /// Checked subtraction: `self - other`, or `None` if the result would
+    /// be negative. Lets callers surface clock inversions instead of
+    /// silently flattening them to zero.
+    #[must_use]
+    pub fn checked_sub(self, other: Ps) -> Option<Ps> {
+        self.0.checked_sub(other.0).map(Ps)
+    }
 }
 
 impl Add for Ps {
@@ -213,6 +221,8 @@ mod tests {
         assert_eq!(a * 3, Ps::from_ns(30));
         assert_eq!(a / 2, Ps::from_ns(5));
         assert_eq!(b.saturating_sub(a), Ps::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Ps::from_ns(6)));
+        assert_eq!(b.checked_sub(a), None);
         assert_eq!(a.max(b), a);
         assert_eq!(vec![a, b].into_iter().sum::<Ps>(), Ps::from_ns(14));
     }

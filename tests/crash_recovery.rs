@@ -2,7 +2,10 @@
 //! data — the EFIT is advisory (missed dedups only) and the AMT's
 //! authoritative copy lives in NVMM.
 
-use esd::core::{run_trace, DedupScheme, Esd};
+use esd::core::{
+    replay_with, run_trace, CrashPoint, CrashStage, DedupScheme, Esd, RunOptions, RunReport,
+    SchemeKind,
+};
 use esd::sim::{Ps, SystemConfig};
 use esd::trace::{generate_trace, AppProfile, CacheLine};
 
@@ -93,4 +96,152 @@ fn crash_is_idempotent_and_runs_keep_working() {
     esd.crash_and_recover(); // crash with empty state is fine
     let report = run_trace(&mut esd, &trace, &config, true).expect("verified run");
     assert!(report.stats.writes_received > 0);
+}
+
+#[test]
+fn efit_decay_interval_survives_crash() {
+    // Regression: recovery used to rebuild the EFIT via `Efit::new`, which
+    // silently reset a configured decay interval back to the default — a
+    // mid-study crash would quietly change the experiment's parameters.
+    let config = SystemConfig::default();
+    let mut esd = Esd::new(&config);
+    esd.efit_decay_interval(123);
+    let line = CacheLine::from_fill(0x5A);
+    esd.write(Ps::ZERO, 0x00, line);
+    esd.write(Ps::from_us(1), 0x40, line);
+
+    esd.crash_and_recover();
+
+    assert_eq!(
+        esd.efit().decay_interval(),
+        123,
+        "a crash must not revert the configured EFIT decay interval"
+    );
+    // The recovered EFIT still works with the preserved configuration.
+    let miss = esd.write(Ps::from_us(2), 0x80, line);
+    let hit = esd.write(Ps::from_us(3), 0xC0, line);
+    assert!(!miss.deduplicated && hit.deduplicated);
+}
+
+fn crash_options(shards: u32, batch: u32, crash_at: CrashPoint, journal: Option<u64>) -> RunOptions {
+    RunOptions {
+        verify: true,
+        scrub_interval: None,
+        scrub_lines_per_tick: 64,
+        observe: false,
+        trace_capacity: 0,
+        epoch_interval: None,
+        shards,
+        batch,
+        quantum: 512,
+        crash_at: Some(crash_at),
+        journal_every: journal,
+    }
+}
+
+#[test]
+fn injected_crash_fires_at_every_stage() {
+    // A seeded crash at each of the seven write-path stages recovers to a
+    // verified run, with and without the journal, and the report carries
+    // the recovery accounting.
+    let config = SystemConfig::default();
+    let trace = generate_trace(&AppProfile::demo(), 41, 4_000);
+    for stage in CrashStage::ALL {
+        for journal in [None, Some(64)] {
+            let point = CrashPoint {
+                access: 2_000,
+                stage,
+            };
+            let options = crash_options(1, 1, point, journal);
+            let report = replay_with(SchemeKind::Esd, &trace, &config, &options)
+                .unwrap_or_else(|e| panic!("{stage}: {e}"));
+            let recovery = report.recovery.expect("crash fired");
+            assert_eq!(recovery.crash_access, 2_000);
+            assert_eq!(recovery.crash_stage, stage);
+            assert_eq!(recovery.journal_interval, journal);
+            assert_eq!(recovery.refcounts_leaked, 0, "{stage}: refcount leak");
+            assert!(recovery.latency > Ps::ZERO, "{stage}: recovery takes time");
+            assert_eq!(
+                report.stats.writes_received + report.stats.reads_served,
+                trace.len() as u64,
+                "every access (including the in-flight one) completes post-recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn journal_bounds_recovery_reads() {
+    // The journal's whole point: replaying a bounded window beats scanning
+    // every metadata line. Tighter checkpoint intervals replay fewer
+    // records on recovery than the journal-off full scan.
+    let config = SystemConfig::default();
+    let trace = generate_trace(&AppProfile::demo(), 43, 6_000);
+    let point = CrashPoint {
+        access: 5_000,
+        stage: CrashStage::MappingUpdate,
+    };
+    let scan = replay_with(
+        SchemeKind::Esd,
+        &trace,
+        &config,
+        &crash_options(1, 1, point, None),
+    )
+    .expect("verified")
+    .recovery
+    .expect("crash fired");
+    let journaled = replay_with(
+        SchemeKind::Esd,
+        &trace,
+        &config,
+        &crash_options(1, 1, point, Some(32)),
+    )
+    .expect("verified")
+    .recovery
+    .expect("crash fired");
+    assert!(
+        journaled.replay_reads < scan.replay_reads,
+        "journal replay ({}) must beat the full scan ({})",
+        journaled.replay_reads,
+        scan.replay_reads
+    );
+    assert!(journaled.latency < scan.latency);
+    // Each bank slice journals independently, so the summed replay window
+    // is bounded by interval × slices.
+    assert!(
+        journaled.records_replayed < 32 * u64::from(config.pcm.banks),
+        "summed window {} exceeds interval x banks",
+        journaled.records_replayed
+    );
+}
+
+#[test]
+fn crash_recovery_is_identical_across_shards_and_batch() {
+    // Satellite: the crash boundary is a pure function of the crash point,
+    // so the post-recovery RunReport must stay byte-identical across the
+    // sharded (shards 1 vs 4) and batched (batch 1 vs 64) engine configs.
+    let config = SystemConfig::default();
+    let mut app = AppProfile::demo();
+    app.working_set_lines = 2_048;
+    let trace = generate_trace(&app, 47, 8_000);
+    let point = CrashPoint {
+        access: 3_333,
+        stage: CrashStage::UniqueWrite,
+    };
+    for kind in SchemeKind::EXTENDED {
+        let mut reference: Option<RunReport> = None;
+        for (shards, batch) in [(1, 1), (1, 64), (4, 1), (4, 64)] {
+            let options = crash_options(shards, batch, point, Some(128));
+            let report = replay_with(kind, &trace, &config, &options)
+                .unwrap_or_else(|e| panic!("{kind} shards={shards} batch={batch}: {e}"));
+            assert!(report.recovery.is_some(), "{kind}: crash must fire");
+            match &reference {
+                None => reference = Some(report),
+                Some(reference) => assert_eq!(
+                    reference, &report,
+                    "{kind} diverged at shards={shards} batch={batch}"
+                ),
+            }
+        }
+    }
 }

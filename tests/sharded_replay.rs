@@ -31,6 +31,8 @@ fn stress_options(shards: u32, batch: u32) -> RunOptions {
         shards,
         batch,
         quantum: 4_096,
+        crash_at: None,
+        journal_every: None,
     }
 }
 
