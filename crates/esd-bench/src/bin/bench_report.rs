@@ -25,10 +25,16 @@
 //! several metadata-journal checkpoint intervals (plus journaling off),
 //! the recovery-time-vs-journal-interval curve.
 //!
+//! Each dispatched compute kernel is timed twice — once with the
+//! process-wide backend forced to `scalar`, once forced to `simd` — so
+//! the report carries a scalar row and a hardware row (labeled `aes-ni`,
+//! `sha-ni`, `avx2`, or `ssse3`) per kernel, and the `environment` block
+//! records the detected CPU features the labels came from.
+//!
 //! Tunables: `ESD_ACCESSES`, `ESD_SEED`, `ESD_THREADS`, `ESD_BATCH`,
-//! `ESD_QUANTUM`, and the fault injector's `ESD_RBER` / `ESD_RBER_SEED` /
-//! `ESD_SCRUB_EVERY` (see the crate docs), plus `ESD_BENCH_OUT` to
-//! redirect the JSON file.
+//! `ESD_QUANTUM`, `ESD_KERNEL`, and the fault injector's `ESD_RBER` /
+//! `ESD_RBER_SEED` / `ESD_SCRUB_EVERY` (see the crate docs), plus
+//! `ESD_BENCH_OUT` to redirect the JSON file.
 
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -44,6 +50,7 @@ use esd_bench::Sweep;
 use esd_collections::{ShardedU64Map, U64Map};
 use esd_core::SchemeKind;
 use esd_crypto::{Aes128, CmeEngine};
+use esd_kernels::KernelBackend;
 use esd_ecc::{encode_line, encode_word_ref, LINE_BYTES};
 
 /// Nanoseconds per call of `op`, timed over enough iterations to dwarf
@@ -73,6 +80,57 @@ fn time_ns(mut op: impl FnMut()) -> f64 {
     best
 }
 
+/// The instruction-set label a kernel family dispatches to under the SIMD
+/// backend on this host, mirroring [`esd_kernels::dispatch_report`].
+fn hw_label(kind: &str) -> &'static str {
+    let f = esd_kernels::cpu_features();
+    match kind {
+        "aes" if f.aes => "aes-ni",
+        "sha1" if f.sha => "sha-ni",
+        "sha1" if f.ssse3 => "ssse3",
+        "md5" if f.avx2 => "avx2",
+        "ecc" if f.avx2 => "avx2",
+        "ecc" if f.ssse3 => "ssse3",
+        _ => "scalar",
+    }
+}
+
+/// Times one dispatched kernel under both backends and returns its two
+/// report rows: the `scalar` row (out-of-line reference shape vs the
+/// optimized scalar path) and the hardware row (optimized scalar path vs
+/// the SIMD path, labeled with the instruction set it dispatched to — or
+/// `scalar` again when the host lacks the extension, in which case both
+/// timings ran the same code and the speedup is ~1). The gateable
+/// invariant is the hardware row's `speedup >= 1.0`: dispatch must never
+/// make a kernel slower than forcing `--kernels scalar`.
+fn backend_pair(
+    name: &str,
+    hw: &'static str,
+    mut reference: impl FnMut(),
+    mut fast: impl FnMut(),
+) -> [KernelSpeedup; 2] {
+    esd_kernels::set_backend(KernelBackend::Scalar);
+    let reference_ns = time_ns(&mut reference);
+    let scalar_ns = time_ns(&mut fast);
+    esd_kernels::set_backend(KernelBackend::Simd);
+    let simd_ns = time_ns(&mut fast);
+    esd_kernels::set_backend(KernelBackend::Auto);
+    [
+        KernelSpeedup {
+            name: name.into(),
+            backend: "scalar".into(),
+            reference_ns,
+            fast_ns: scalar_ns,
+        },
+        KernelSpeedup {
+            name: name.into(),
+            backend: hw.into(),
+            reference_ns: scalar_ns,
+            fast_ns: simd_ns,
+        },
+    ]
+}
+
 fn measure_kernels() -> Vec<KernelSpeedup> {
     let line: [u8; LINE_BYTES] = std::array::from_fn(|i| (i as u8).wrapping_mul(37));
     let aes = Aes128::new(&[0x2b; 16]);
@@ -80,18 +138,24 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
 
     let mut kernels = Vec::new();
 
-    kernels.push(KernelSpeedup {
-        name: "aes128_encrypt_block".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "aes128_encrypt_block",
+        hw_label("aes"),
+        || {
             black_box(aes.encrypt_block_ref(black_box(block)));
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(aes.encrypt_block(black_box(block)));
-        }),
-    });
+        },
+    ));
 
+    // The word encoder has no SIMD variant (dispatch is at line
+    // granularity), so this row is scalar-only: bit-by-bit parity
+    // reference vs the byte-table encoder.
+    esd_kernels::set_backend(KernelBackend::Scalar);
     kernels.push(KernelSpeedup {
         name: "hamming_encode_word".into(),
+        backend: "scalar".into(),
         reference_ns: time_ns(|| {
             black_box(encode_word_ref(black_box(0x0123_4567_89ab_cdefu64)));
         }),
@@ -99,37 +163,44 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
             black_box(esd_ecc::encode_word(black_box(0x0123_4567_89ab_cdefu64)));
         }),
     });
+    esd_kernels::set_backend(KernelBackend::Auto);
 
     // The seed's line encoder was a per-word `encode_word` loop over u64
     // loads; reconstruct that shape from the reference word encoder so the
     // single-pass byte-table encoder has an end-to-end baseline.
-    kernels.push(KernelSpeedup {
-        name: "ecc_encode_line".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "ecc_encode_line",
+        hw_label("ecc"),
+        || {
             let line = black_box(&line);
             let mut ecc = [0u8; 8];
             for (w, chunk) in ecc.iter_mut().zip(line.chunks_exact(8)) {
                 *w = encode_word_ref(u64::from_le_bytes(chunk.try_into().unwrap()));
             }
             black_box(ecc);
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(encode_line(black_box(&line)));
-        }),
-    });
+        },
+    ));
 
-    kernels.push(KernelSpeedup {
-        name: "sha1_64B_line".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "sha1_64B_line",
+        hw_label("sha1"),
+        || {
             black_box(esd_hash::reference::sha1(black_box(&line)));
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(esd_hash::sha1(black_box(&line)));
-        }),
-    });
+        },
+    ));
 
+    // Single-line MD5 has no SIMD variant either (each compress is a
+    // sequential dependency chain; only the 4-lane shape vectorizes).
+    esd_kernels::set_backend(KernelBackend::Scalar);
     kernels.push(KernelSpeedup {
         name: "md5_64B_line".into(),
+        backend: "scalar".into(),
         reference_ns: time_ns(|| {
             black_box(esd_hash::reference::md5(black_box(&line)));
         }),
@@ -137,6 +208,7 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
             black_box(esd_hash::md5(black_box(&line)));
         }),
     });
+    esd_kernels::set_backend(KernelBackend::Auto);
 
     // The multi-lane kernels behind the batched pipeline, each timed per
     // 4-line group against its scalar per-line counterpart (same unit on
@@ -144,66 +216,71 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
     let lines4: [[u8; LINE_BYTES]; 4] =
         std::array::from_fn(|l| std::array::from_fn(|i| (i as u8).wrapping_mul(37) ^ l as u8));
 
-    kernels.push(KernelSpeedup {
-        name: "sha1_4_lines".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "sha1_4_lines",
+        hw_label("sha1"),
+        || {
             for l in black_box(&lines4) {
                 black_box(esd_hash::sha1(l));
             }
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(esd_hash::sha1_lines4(black_box(&lines4)));
-        }),
-    });
+        },
+    ));
 
-    kernels.push(KernelSpeedup {
-        name: "md5_4_lines".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "md5_4_lines",
+        hw_label("md5"),
+        || {
             for l in black_box(&lines4) {
                 black_box(esd_hash::md5(l));
             }
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(esd_hash::md5_lines4(black_box(&lines4)));
-        }),
-    });
+        },
+    ));
 
     let blocks4: [[u8; 16]; 4] = std::array::from_fn(|l| std::array::from_fn(|i| i as u8 ^ l as u8));
-    kernels.push(KernelSpeedup {
-        name: "aes128_encrypt_4_blocks".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "aes128_encrypt_4_blocks",
+        hw_label("aes"),
+        || {
             for b in black_box(blocks4) {
                 black_box(aes.encrypt_block(b));
             }
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             black_box(aes.encrypt4(black_box(blocks4)));
-        }),
-    });
+        },
+    ));
 
     let mut codes = Vec::with_capacity(4);
-    kernels.push(KernelSpeedup {
-        name: "ecc_encode_4_lines".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "ecc_encode_4_lines",
+        hw_label("ecc"),
+        || {
             for l in black_box(&lines4) {
                 black_box(encode_line(l));
             }
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             codes.clear();
             esd_ecc::encode_lines(black_box(&lines4[..]), &mut codes);
             black_box(&codes);
-        }),
-    });
+        },
+    ));
 
     // Batched keystream fill vs the scalar shape it replaced: one AES call
     // per 16-byte pad block. Both sides expand 16 line pads (64 blocks).
     let engine = esd_crypto::CmeEngine::new([0x2B; 16]);
     let pairs: Vec<(u64, u64)> = (0..16u64).map(|i| (i * 64, 1)).collect();
     let mut pads = Vec::with_capacity(pairs.len());
-    kernels.push(KernelSpeedup {
-        name: "ctr_pad_fill_16_lines".into(),
-        reference_ns: time_ns(|| {
+    kernels.extend(backend_pair(
+        "ctr_pad_fill_16_lines",
+        hw_label("aes"),
+        || {
             for &(addr, counter) in black_box(&pairs) {
                 for blk in 0..4u8 {
                     let mut tweak = [0u8; 16];
@@ -213,13 +290,13 @@ fn measure_kernels() -> Vec<KernelSpeedup> {
                     black_box(aes.encrypt_block(tweak));
                 }
             }
-        }),
-        fast_ns: time_ns(|| {
+        },
+        || {
             pads.clear();
             engine.fill_pads(black_box(&pairs), &mut pads);
             black_box(&pads);
-        }),
-    });
+        },
+    ));
 
     kernels
 }
@@ -245,6 +322,7 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     let mut k_fast = 0u64;
     structures.push(KernelSpeedup {
         name: "lru_get_hit".into(),
+        backend: String::new(),
         reference_ns: time_ns(|| {
             k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
             black_box(mapped.get(&(k_ref * 64)));
@@ -267,6 +345,7 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     let mut k_fast = 0u64;
     structures.push(KernelSpeedup {
         name: "u64_table_get_hit".into(),
+        backend: String::new(),
         reference_ns: time_ns(|| {
             k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
             black_box(std_map.get(&(k_ref * 64)));
@@ -289,6 +368,7 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     let mut k_fast = 0u64;
     structures.push(KernelSpeedup {
         name: "sharded_u64map_get_hit".into(),
+        backend: String::new(),
         reference_ns: time_ns(|| {
             k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
             black_box(u64_map.get(k_ref * 64));
@@ -313,6 +393,7 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     let mut k_fast = 0u64;
     structures.push(KernelSpeedup {
         name: "cross_shard_merge_insert".into(),
+        backend: String::new(),
         reference_ns: time_ns(|| {
             k_ref = k_ref.wrapping_add(0x9E37_79B9) % ENTRIES;
             let key = k_ref * 64;
@@ -344,6 +425,7 @@ fn measure_structures() -> Vec<KernelSpeedup> {
     let mut k_fast = 0u64;
     structures.push(KernelSpeedup {
         name: "cme_decrypt_line".into(),
+        backend: String::new(),
         reference_ns: time_ns(|| {
             k_ref = (k_ref + 1) % CME_LINES;
             black_box(
@@ -398,6 +480,7 @@ fn measure_obs_overhead() -> Vec<KernelSpeedup> {
     }
     vec![KernelSpeedup {
         name: "esd_replay_obs_enabled_vs_off".into(),
+        backend: String::new(),
         reference_ns: on_ns,
         fast_ns: off_ns,
     }]
@@ -553,12 +636,14 @@ fn main() {
     // overwrite the file, so the new report can record the delta.
     let previous = read_previous_accesses_per_second(&out_path);
 
-    eprintln!("bench_report: timing hot-path kernels ...");
+    eprintln!("bench_report: {}", esd_kernels::dispatch_report());
+    eprintln!("bench_report: timing hot-path kernels (scalar and SIMD backends) ...");
     let kernels = measure_kernels();
     for k in &kernels {
         eprintln!(
-            "bench_report:   {:<24} {:>8.1} ns -> {:>7.1} ns  ({:.2}x)",
+            "bench_report:   {:<24} [{:<6}] {:>8.1} ns -> {:>7.1} ns  ({:.2}x)",
             k.name,
+            k.backend,
             k.reference_ns,
             k.fast_ns,
             k.speedup()

@@ -33,6 +33,14 @@
 //! curve. Every point also records the zero-loss invariants
 //! (`lost_acknowledged_writes`, `refcounts_leaked`) so CI can gate on
 //! them from the checked-in report.
+//!
+//! Schema v8 labels each `kernel_speedups` row with the hardware
+//! `backend` the fast path dispatched to (`aes-ni`, `sha-ni`, `avx2`,
+//! `ssse3`, or `scalar` when the host lacks the extension) and extends
+//! the `environment` block with the detected CPU features
+//! (`aes`/`sha`/`avx2`/`ssse3`) and the selected `kernel_backend`, so a
+//! checked-in report records exactly which kernel implementations its
+//! numbers came from.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,6 +76,11 @@ pub struct SerialBaseline {
 pub struct KernelSpeedup {
     /// Operation name, e.g. `"aes128_encrypt_block"` or `"lru_get_hit"`.
     pub name: String,
+    /// Hardware backend the fast path dispatched to (`"aes-ni"`,
+    /// `"sha-ni"`, `"avx2"`, `"ssse3"` — or `"scalar"` when the host
+    /// lacks the extension and the fast path *is* the reference). Empty
+    /// for rows where the label does not apply (metadata structures).
+    pub backend: String,
     /// Reference-implementation cost per operation, nanoseconds.
     pub reference_ns: f64,
     /// Fast-path cost per operation, nanoseconds.
@@ -162,21 +175,35 @@ pub struct EnvironmentInfo {
     /// Whether the binary was compiled with debug assertions (a debug-build
     /// report must never be compared against a release-build one).
     pub debug_build: bool,
+    /// Kernel backend selected for the sweep (`scalar`/`simd`/`auto`).
+    pub kernel_backend: String,
+    /// Detected instruction-set extensions, in the fixed order
+    /// `aes`, `sha`, `avx2`, `ssse3`.
+    pub cpu_features: [(&'static str, bool); 4],
     /// Every `ESD_*` environment variable in effect, sorted by name.
     pub esd_env: Vec<(String, String)>,
 }
 
 impl EnvironmentInfo {
-    /// Captures the current process environment.
+    /// Captures the current process environment, including the host's
+    /// kernel-dispatch CPU features and the selected backend.
     #[must_use]
     pub fn capture() -> Self {
         let mut esd_env: Vec<(String, String)> = std::env::vars()
             .filter(|(k, _)| k.starts_with("ESD_"))
             .collect();
         esd_env.sort();
+        let features = esd_kernels::cpu_features();
         Self {
             logical_cores: std::thread::available_parallelism().map_or(1, usize::from),
             debug_build: cfg!(debug_assertions),
+            kernel_backend: esd_kernels::backend().name().to_owned(),
+            cpu_features: [
+                ("aes", features.aes),
+                ("sha", features.sha),
+                ("avx2", features.avx2),
+                ("ssse3", features.ssse3),
+            ],
             esd_env,
         }
     }
@@ -225,7 +252,7 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v7"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v8"));
     push_environment(&mut out, extras.environment);
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
@@ -557,6 +584,15 @@ fn push_environment(out: &mut String, env: Option<&EnvironmentInfo>) {
     out.push_str("  \"environment\": {\n");
     push_kv(out, 2, "logical_cores", &env.logical_cores.to_string());
     push_kv(out, 2, "debug_build", if env.debug_build { "true" } else { "false" });
+    push_kv(out, 2, "kernel_backend", &json_str(&env.kernel_backend));
+    out.push_str("    \"cpu_features\": {");
+    for (i, (name, present)) in env.cpu_features.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(name), present));
+    }
+    out.push_str("},\n");
     out.push_str("    \"esd_env\": {");
     for (i, (k, v)) in env.esd_env.iter().enumerate() {
         if i > 0 {
@@ -574,9 +610,12 @@ fn push_speedup_array(out: &mut String, key: &str, item_key: &str, items: &[Kern
     out.push_str(&format!("  \"{key}\": [\n"));
     for (i, k) in items.iter().enumerate() {
         out.push_str("    {");
+        out.push_str(&format!("\"{item_key}\": {}", json_str(&k.name)));
+        if !k.backend.is_empty() {
+            out.push_str(&format!(", \"backend\": {}", json_str(&k.backend)));
+        }
         out.push_str(&format!(
-            "\"{item_key}\": {}, \"reference_ns\": {}, \"fast_ns\": {}, \"speedup\": {}",
-            json_str(&k.name),
+            ", \"reference_ns\": {}, \"fast_ns\": {}, \"speedup\": {}",
             json_f64(k.reference_ns),
             json_f64(k.fast_ns),
             json_f64(k.speedup())
@@ -644,11 +683,13 @@ mod tests {
         let (sweep, outcome) = tiny_outcome();
         let kernels = [KernelSpeedup {
             name: "aes128_encrypt_block".into(),
+            backend: "aes-ni".into(),
             reference_ns: 100.0,
             fast_ns: 25.0,
         }];
         let structures = [KernelSpeedup {
             name: "lru_get_hit".into(),
+            backend: String::new(),
             reference_ns: 50.0,
             fast_ns: 10.0,
         }];
@@ -668,6 +709,8 @@ mod tests {
         let environment = EnvironmentInfo {
             logical_cores: 8,
             debug_build: true,
+            kernel_backend: "auto".into(),
+            cpu_features: [("aes", true), ("sha", true), ("avx2", true), ("ssse3", true)],
             esd_env: vec![("ESD_BATCH".into(), "64".into())],
         };
         let recovery = RecoveryCurve {
@@ -712,7 +755,7 @@ mod tests {
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v7\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v8\""));
         assert!(json.contains("\"requested_threads\""));
         assert!(json.contains("\"effective_threads\""));
         assert!(json.contains("\"shard_scaling\": ["));
@@ -733,6 +776,10 @@ mod tests {
         assert!(json.contains("\"environment\": {"));
         assert!(json.contains("\"logical_cores\": 8"));
         assert!(json.contains("\"debug_build\": true"));
+        assert!(json.contains("\"kernel_backend\": \"auto\""));
+        assert!(json.contains(
+            "\"cpu_features\": {\"aes\": true, \"sha\": true, \"avx2\": true, \"ssse3\": true}"
+        ));
         assert!(json.contains("\"esd_env\": {\"ESD_BATCH\": \"64\"}"));
         assert!(json.contains("\"accesses_per_task\": 500"));
         assert!(json.contains("\"reliability\": {"));
@@ -755,9 +802,10 @@ mod tests {
         assert!(json.contains("\"parallel_speedup\""));
         assert!(json.contains("\"previous_accesses_per_second\": 1000.000000"));
         assert!(json.contains("\"speedup_vs_previous\""));
-        assert!(json.contains("\"kernel\": \"aes128_encrypt_block\""));
+        assert!(json.contains("\"kernel\": \"aes128_encrypt_block\", \"backend\": \"aes-ni\""));
         assert!(json.contains("\"speedup\": 4.000000"));
-        assert!(json.contains("\"structure\": \"lru_get_hit\""));
+        // Structure rows carry no backend label.
+        assert!(json.contains("\"structure\": \"lru_get_hit\", \"reference_ns\""));
         assert!(json.contains("\"speedup\": 5.000000"));
         assert_eq!(json.matches("\"replay_seconds\"").count(), 2);
         // Balanced braces/brackets as a cheap well-formedness check.
@@ -786,6 +834,9 @@ mod tests {
         let env = EnvironmentInfo::capture();
         assert!(env.logical_cores >= 1);
         assert_eq!(env.debug_build, cfg!(debug_assertions));
+        assert!(["scalar", "simd", "auto"].contains(&env.kernel_backend.as_str()));
+        let names: Vec<&str> = env.cpu_features.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["aes", "sha", "avx2", "ssse3"]);
         assert!(env.esd_env.iter().all(|(k, _)| k.starts_with("ESD_")));
         assert!(env.esd_env.windows(2).all(|w| w[0].0 <= w[1].0));
     }

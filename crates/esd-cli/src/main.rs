@@ -24,6 +24,12 @@
 //! `--quantum <accesses>` sets the cross-slice sync quantum (default
 //! `ESD_QUANTUM`, else 4096; a *model* knob — it decides when cross-slice
 //! duplicates become visible; degenerate values are clamped with a note).
+//! `--kernels <scalar|simd|auto>` picks the compute-kernel backend
+//! (default `ESD_KERNEL`, else `auto`): `simd`/`auto` route AES-128,
+//! SHA-1, MD5 and the Hamming encoder to AES-NI / SHA-NI / AVX2 / SSSE3
+//! where the host supports them, `scalar` forces the portable reference
+//! kernels. A pure host-speed knob — every backend is bit-exact; an
+//! explicit selection echoes the per-kernel dispatch table on stderr.
 //!
 //! Reliability flags: `--rber <flips per 10^12 bit-reads>` enables the
 //! seeded fault injector, `--rber-seed <N>` picks its stream, and
@@ -86,6 +92,8 @@ fn usage() -> &'static str {
      engine (run/compare/replay):      [--batch <block>] (pipeline block size; results\n\
      \x20                                 are identical at every batch size)\n\
      \x20                                 [--quantum <accesses>] (cross-slice sync quantum)\n\
+     \x20                                 [--kernels <scalar|simd|auto>] (compute-kernel\n\
+     \x20                                 backend; bit-exact, default auto)\n\
      reliability (run/compare/replay): [--rber <per-10^12-bit-reads>] [--rber-seed N]\n\
      \x20                                 [--scrub-every <accesses>] [--scrub-lines N]\n\
      crash (run/compare/replay):       [--crash-at <access[:stage]>] (inject a power-loss\n\
@@ -204,7 +212,7 @@ fn shard_options(
 
 /// Flag names for the batched replay engine, shared by `run`, `compare`
 /// and `replay`.
-const ENGINE_FLAGS: [&str; 2] = ["batch", "quantum"];
+const ENGINE_FLAGS: [&str; 3] = ["batch", "quantum", "kernels"];
 
 /// Flag names for crash injection and journaling, shared by `run`,
 /// `compare` and `replay`.
@@ -227,10 +235,14 @@ fn crash_options(args: &Args, options: &mut RunOptions) -> Result<(), String> {
 }
 
 /// Applies the engine knobs: `--batch` sets the stage-pipeline block size
-/// (a pure host-speed knob — reports are identical at every batch size)
-/// and `--quantum` the cross-slice sync quantum (a model knob). Degenerate
-/// values — `--quantum 0` or beyond the trace length, `--batch 0` — are
-/// clamped with a note.
+/// (a pure host-speed knob — reports are identical at every batch size),
+/// `--quantum` the cross-slice sync quantum (a model knob), and
+/// `--kernels scalar|simd|auto` the compute-kernel backend (a host-speed
+/// knob: every SIMD kernel is bit-exact with its scalar reference). An
+/// explicit `--kernels` echoes the resolved per-kernel dispatch table on
+/// stderr so runs record which code actually executed. Degenerate values —
+/// `--quantum 0` or beyond the trace length, `--batch 0` — are clamped
+/// with a note.
 fn engine_options(
     args: &Args,
     trace_len: usize,
@@ -239,6 +251,11 @@ fn engine_options(
     options.batch = args.get_parsed_or("batch", options.batch).map_err(|e| e.to_string())?;
     options.quantum =
         args.get_parsed_or("quantum", options.quantum).map_err(|e| e.to_string())?;
+    if let Some(raw) = args.get("kernels") {
+        options.kernels = raw.parse().map_err(|e| format!("--kernels: {e}"))?;
+        esd_kernels::set_backend(options.kernels);
+        eprintln!("{}", esd_kernels::dispatch_report());
+    }
     if options.batch == 0 {
         eprintln!("note: --batch 0 runs the scalar path (batch 1)");
     }

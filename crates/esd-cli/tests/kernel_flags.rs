@@ -1,0 +1,84 @@
+//! CLI-level contract of the kernel-backend selection: the `--kernels`
+//! flag echoes the resolved dispatch table on stderr, rejects unknown
+//! backends with a parse error, and a malformed `ESD_KERNEL` environment
+//! value warns once and falls back to `auto` instead of failing the run.
+
+use std::process::Command;
+
+fn esd_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_esd-cli"))
+}
+
+#[test]
+fn explicit_kernels_flag_reports_dispatch_on_stderr() {
+    for backend in ["scalar", "simd", "auto"] {
+        let out = esd_cli()
+            .args(["run", "--app", "demo", "--accesses", "500", "--kernels", backend])
+            .env_remove("ESD_KERNEL")
+            .output()
+            .expect("esd-cli runs");
+        assert!(out.status.success(), "--kernels {backend} failed");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("kernel dispatch ({backend}):")),
+            "--kernels {backend} stderr missing dispatch report:\n{stderr}"
+        );
+        // The report names every kernel so CI can grep what actually ran.
+        for kernel in ["aes128=", "sha1=", "md5=", "hamming="] {
+            assert!(stderr.contains(kernel), "missing {kernel} in:\n{stderr}");
+        }
+        if backend == "scalar" {
+            assert!(
+                stderr.contains("aes128=scalar"),
+                "forced scalar must dispatch scalar:\n{stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_kernels_flag_is_a_usage_error() {
+    let out = esd_cli()
+        .args(["run", "--app", "demo", "--accesses", "500", "--kernels", "bogus"])
+        .output()
+        .expect("esd-cli runs");
+    assert!(!out.status.success(), "--kernels bogus must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown kernel backend \"bogus\""),
+        "stderr must name the bad backend:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_esd_kernel_env_warns_and_falls_back_to_auto() {
+    let out = esd_cli()
+        .args(["run", "--app", "demo", "--accesses", "500"])
+        .env("ESD_KERNEL", "bogus")
+        .output()
+        .expect("esd-cli runs");
+    assert!(
+        out.status.success(),
+        "a malformed ESD_KERNEL must not fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: ignoring ESD_KERNEL=\"bogus\"") && stderr.contains("using auto"),
+        "stderr must warn about the ignored value:\n{stderr}"
+    );
+}
+
+#[test]
+fn well_formed_esd_kernel_env_is_silent() {
+    let out = esd_cli()
+        .args(["run", "--app", "demo", "--accesses", "500"])
+        .env("ESD_KERNEL", "scalar")
+        .output()
+        .expect("esd-cli runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("warning: ignoring ESD_KERNEL"),
+        "a valid ESD_KERNEL must not warn:\n{stderr}"
+    );
+}

@@ -124,6 +124,16 @@ pub struct RunOptions {
     /// bank occupancy, never write latency. Defaults to the
     /// `ESD_JOURNAL_EVERY` environment variable (unset or `0` → `None`).
     pub journal_every: Option<u64>,
+    /// Which kernel backend the compute kernels (AES-128, SHA-1, MD5,
+    /// Hamming ECC) run on: the portable scalar references, the hardware
+    /// SIMD implementations where the host supports them, or automatic
+    /// selection. Purely a *host-speed* knob — every SIMD backend is
+    /// bit-exact with its scalar reference, so the [`RunReport`] is
+    /// byte-identical across backends; only wall-clock changes. Applied
+    /// process-wide (via [`esd_kernels::set_backend`]) before replay
+    /// workers spawn. Defaults to the `ESD_KERNEL` environment variable
+    /// (unset → `Auto`; malformed values warn on stderr and fall back).
+    pub kernels: esd_kernels::KernelBackend,
 }
 
 impl Default for RunOptions {
@@ -140,8 +150,16 @@ impl Default for RunOptions {
             quantum: default_quantum(),
             crash_at: default_crash_at(),
             journal_every: default_journal_every(),
+            kernels: default_kernels(),
         }
     }
+}
+
+/// The default kernel backend: `ESD_KERNEL` when set to a valid backend
+/// name (`scalar`, `simd`, `auto`), else `Auto`. A set-but-malformed value
+/// warns on stderr and falls back, matching the other `ESD_*` knobs.
+fn default_kernels() -> esd_kernels::KernelBackend {
+    esd_kernels::backend_from_env()
 }
 
 /// The default worker-thread count: the `ESD_SHARDS` environment variable
@@ -309,6 +327,10 @@ pub fn run_trace_with(
     config: &SystemConfig,
     options: &RunOptions,
 ) -> Result<RunReport, VerifyError> {
+    // Select the kernel backend before any worker threads spawn; dispatch
+    // is a process-global so all slices agree. Bit-exactness of the SIMD
+    // backends keeps the report byte-identical across this choice.
+    esd_kernels::set_backend(options.kernels);
     let threads = effective_shards(options.shards, config) as usize;
     crate::shard::run_sharded(scheme, trace, config, options, threads)
 }

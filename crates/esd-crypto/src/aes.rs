@@ -155,13 +155,46 @@ impl Aes128 {
         }
     }
 
-    /// Encrypts one 16-byte block (T-table fast path).
+    /// Encrypts one 16-byte block, dispatched to the fastest available
+    /// backend.
+    ///
+    /// Runs the AES-NI rounds when the kernel backend allows SIMD and the
+    /// host has the `aes` feature ([`esd_kernels`]), otherwise the scalar
+    /// T-table path — both bit-exact with [`Aes128::encrypt_block_ref`],
+    /// so dispatch never changes ciphertext.
+    #[must_use]
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aes_ni::available() {
+            // SAFETY: `available` confirmed the `aes`+`sse2` CPU features
+            // at runtime before taking this path.
+            return unsafe { crate::aes_ni::encrypt_block(&self.round_keys, block) };
+        }
+        self.encrypt_block_scalar(block)
+    }
+
+    /// Encrypts four independent 16-byte blocks, dispatched like
+    /// [`Aes128::encrypt_block`] — the AES-NI backend keeps four `aesenc`
+    /// chains in flight over a single walk of the key schedule.
+    #[must_use]
+    pub fn encrypt4(&self, blocks: [[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aes_ni::available() {
+            // SAFETY: `available` confirmed the `aes`+`sse2` CPU features
+            // at runtime before taking this path.
+            return unsafe { crate::aes_ni::encrypt4(&self.round_keys, blocks) };
+        }
+        self.encrypt4_scalar(blocks)
+    }
+
+    /// Encrypts one 16-byte block (scalar T-table fast path).
     ///
     /// Bit-exact with [`Aes128::encrypt_block_ref`]; the state lives in
     /// four big-endian column words and each round is 16 table lookups plus
-    /// the round-key XOR.
+    /// the round-key XOR. Kept public as the portable reference the SIMD
+    /// backend is benchmarked and property-tested against.
     #[must_use]
-    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+    pub fn encrypt_block_scalar(&self, block: [u8; 16]) -> [u8; 16] {
         let rk = &self.round_key_words;
         // Column c's word holds rows 0..3 top-to-bottom (big-endian), so
         // the byte-wise column-major layout maps straight onto BE loads.
@@ -231,7 +264,7 @@ impl Aes128 {
     /// blocks) in one walk of the schedule. Bit-exact with four calls to
     /// [`Aes128::encrypt_block`].
     #[must_use]
-    pub fn encrypt4(&self, blocks: [[u8; 16]; 4]) -> [[u8; 16]; 4] {
+    pub fn encrypt4_scalar(&self, blocks: [[u8; 16]; 4]) -> [[u8; 16]; 4] {
         let rk = &self.round_key_words;
         // s[l] holds lane l's four big-endian column words.
         let mut s: [[u32; 4]; 4] = std::array::from_fn(|l| {
@@ -493,6 +526,35 @@ mod tests {
         let out = aes.encrypt4(blocks);
         for (lane, block) in blocks.iter().enumerate() {
             assert_eq!(out[lane], aes.encrypt_block(*block), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn dispatched_backend_matches_scalar_tables() {
+        // `encrypt_block`/`encrypt4` route through AES-NI wherever the host
+        // supports it; both must agree byte-for-byte with the scalar
+        // T-table path (and transitively the byte-wise reference) on every
+        // input, or dispatch would change ciphertext.
+        let mut x = 0xDEAD_BEEF_0BAD_CAFEu64;
+        let mut step = || {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            x.to_le_bytes()
+        };
+        for _ in 0..128 {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&step());
+            key[8..].copy_from_slice(&step());
+            let aes = Aes128::new(&key);
+            let blocks: [[u8; 16]; 4] = std::array::from_fn(|_| {
+                let mut b = [0u8; 16];
+                b[..8].copy_from_slice(&step());
+                b[8..].copy_from_slice(&step());
+                b
+            });
+            for block in blocks {
+                assert_eq!(aes.encrypt_block(block), aes.encrypt_block_scalar(block));
+            }
+            assert_eq!(aes.encrypt4(blocks), aes.encrypt4_scalar(blocks));
         }
     }
 

@@ -29,6 +29,8 @@
 //! ```
 
 mod aes;
+#[cfg(target_arch = "x86_64")]
+mod aes_ni;
 mod ctr;
 
 pub use aes::Aes128;

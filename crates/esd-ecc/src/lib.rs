@@ -39,6 +39,8 @@
 mod hamming;
 pub mod hsiao;
 mod line;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use hamming::{
     decode_word, encode_word, encode_word_ref, CorrectedBit, DecodeWordError, WordDecode,

@@ -38,6 +38,8 @@ mod lanes;
 mod md5;
 pub mod reference;
 mod sha1;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use cost::{FingerprintCost, FingerprintKind};
 pub use crc::{crc32, crc64, Crc32, Crc64};

@@ -2,16 +2,17 @@
 
 use std::fmt;
 
-/// Per-round shift amounts.
-const S: [u32; 64] = [
+/// Per-round shift amounts, shared with the AVX2 4-lane kernel.
+pub(crate) const S: [u32; 64] = [
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
     5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
     4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
     6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
 ];
 
-/// Per-round additive constants: `floor(2^32 * abs(sin(i+1)))`.
-const K: [u32; 64] = [
+/// Per-round additive constants (`floor(2^32 * abs(sin(i+1)))`), shared
+/// with the AVX2 4-lane kernel.
+pub(crate) const K: [u32; 64] = [
     0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
     0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
     0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
@@ -209,9 +210,25 @@ const MD5_LINE_PAD: [u8; 64] = {
     block
 };
 
+/// One MD5 compression over four independent states, dispatched to the
+/// AVX2 vertical kernel where the host has it and the scalar interleaved
+/// lanes otherwise — bit-exact either way. (Single-block MD5 has no
+/// hardware path: each round depends on the previous, so only the 4-lane
+/// shape vectorizes.)
+fn md5_compress4(states: &mut [[u32; 4]; 4], blocks: [&[u8; 64]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_available() {
+        // SAFETY: `avx2_available` confirmed the `avx2` CPU feature at
+        // runtime before taking this path.
+        unsafe { crate::simd::md5_compress4_avx2(states, blocks) };
+        return;
+    }
+    md5_compress4_scalar(states, blocks);
+}
+
 /// One MD5 compression over four independent states in lockstep (see
 /// the SHA-1 counterpart for the interleaving rationale).
-fn md5_compress4(states: &mut [[u32; 4]; 4], blocks: [&[u8; 64]; 4]) {
+fn md5_compress4_scalar(states: &mut [[u32; 4]; 4], blocks: [&[u8; 64]; 4]) {
     let mut m = [[0u32; 16]; 4];
     for (lane, block) in m.iter_mut().zip(blocks) {
         for (word, chunk) in lane.iter_mut().zip(block.chunks_exact(4)) {

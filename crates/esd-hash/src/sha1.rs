@@ -141,12 +141,27 @@ impl Sha1 {
         }
     }
 
-    /// The fast block compression: the 80-round loop is split into its four
-    /// phases (removing the per-round `(f, k)` dispatch) and the message
-    /// schedule lives in a 16-word circular buffer computed on the fly
-    /// (instead of a pre-expanded 80-word array). Bit-exact with
-    /// [`crate::reference::sha1_compress`].
+    /// One block compression, dispatched to the fastest available backend:
+    /// the SHA-NI rounds when the kernel backend allows SIMD and the host
+    /// has the `sha` feature, otherwise the scalar phase-split loop — both
+    /// bit-exact with [`crate::reference::sha1_compress`].
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::sha_ni_available() {
+            // SAFETY: `sha_ni_available` confirmed the `sha`+`ssse3`+`sse2`
+            // CPU features at runtime before taking this path.
+            unsafe { crate::simd::sha1_compress_ni(&mut self.state, block) };
+            return;
+        }
+        self.compress_scalar(block);
+    }
+
+    /// The scalar block compression: the 80-round loop is split into its
+    /// four phases (removing the per-round `(f, k)` dispatch) and the
+    /// message schedule lives in a 16-word circular buffer computed on the
+    /// fly (instead of a pre-expanded 80-word array). Bit-exact with
+    /// [`crate::reference::sha1_compress`].
+    fn compress_scalar(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 16];
         for (word, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
             *word = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
@@ -217,24 +232,49 @@ pub fn sha1(data: &[u8]) -> Sha1Digest {
 }
 
 /// The standard SHA-1 initial state, shared with the 4-lane kernel.
-const SHA1_INIT: [u32; 5] =
+pub(crate) const SHA1_INIT: [u32; 5] =
     [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
 
 /// The second compression block of every one-shot 64-byte message is a
 /// constant: the `0x80` terminator, zeros, then the 512-bit message length
 /// big-endian in the last eight bytes.
-const SHA1_LINE_PAD: [u8; 64] = {
+pub(crate) const SHA1_LINE_PAD: [u8; 64] = {
     let mut block = [0u8; 64];
     block[0] = 0x80;
     block[62] = 0x02; // 512 = 0x0200, big-endian
     block
 };
 
+/// One SHA-1 compression over four independent states, dispatched to the
+/// fastest available backend: four SHA-NI single-block compressions where
+/// the host has them, the SSSE3 4-wide vertical kernel otherwise, and the
+/// scalar interleaved lanes as the universal fallback. All bit-exact.
+fn sha1_compress4(states: &mut [[u32; 5]; 4], blocks: [&[u8; 64]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::sha_ni_available() {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                // SAFETY: `sha_ni_available` confirmed the `sha`+`ssse3`+
+                // `sse2` CPU features at runtime before taking this path.
+                unsafe { crate::simd::sha1_compress_ni(state, block) };
+            }
+            return;
+        }
+        if crate::simd::ssse3_available() {
+            // SAFETY: `ssse3_available` confirmed the `ssse3`+`sse2` CPU
+            // features at runtime before taking this path.
+            unsafe { crate::simd::sha1_compress4_ssse3(states, blocks) };
+            return;
+        }
+    }
+    sha1_compress4_scalar(states, blocks);
+}
+
 /// One SHA-1 compression over four independent states in lockstep: the four
 /// message schedules and round computations are interleaved so each round's
 /// four lane operations are adjacent — the shape the compiler auto-vectorizes
 /// and that keeps all four working sets in registers.
-fn sha1_compress4(states: &mut [[u32; 5]; 4], blocks: [&[u8; 64]; 4]) {
+fn sha1_compress4_scalar(states: &mut [[u32; 5]; 4], blocks: [&[u8; 64]; 4]) {
     let mut w = [[0u32; 16]; 4];
     for (lane, block) in w.iter_mut().zip(blocks) {
         for (word, chunk) in lane.iter_mut().zip(block.chunks_exact(4)) {

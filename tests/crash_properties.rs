@@ -72,6 +72,7 @@ proptest! {
             quantum: 64,
             crash_at: Some(point),
             journal_every: journal,
+            kernels: esd::kernels::KernelBackend::Auto,
         };
         for kind in SchemeKind::EXTENDED {
             let result = replay_with(kind, &trace, &config, &options);

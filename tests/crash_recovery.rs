@@ -136,6 +136,7 @@ fn crash_options(shards: u32, batch: u32, crash_at: CrashPoint, journal: Option<
         quantum: 512,
         crash_at: Some(crash_at),
         journal_every: journal,
+        kernels: esd::kernels::KernelBackend::Auto,
     }
 }
 

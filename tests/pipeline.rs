@@ -1,11 +1,36 @@
 //! End-to-end pipeline tests: every scheme replays real paper workloads
 //! with full read-back verification (the §III-E "no data loss" guarantee).
 
-use esd::core::{build_scheme, run_trace, SchemeKind};
+use esd::core::{build_scheme, replay_with, run_trace, RunOptions, SchemeKind};
+use esd::kernels::KernelBackend;
 use esd::sim::SystemConfig;
 use esd::trace::{generate_trace, AppProfile};
 
 const ACCESSES: usize = 8_000;
+
+#[test]
+fn every_scheme_preserves_data_under_both_kernel_backends() {
+    // The full verified pipeline under each forced kernel backend in one
+    // process: dispatch is bit-exact, so the everything-verified replay
+    // must succeed identically whether the hot kernels run scalar or
+    // hardware code. (tests/kernel_backends.rs proves the reports are
+    // byte-identical; this covers the read-back guarantee per scheme.)
+    let config = SystemConfig::default();
+    let trace = generate_trace(&AppProfile::demo(), 17, ACCESSES);
+    for kernels in [KernelBackend::Scalar, KernelBackend::Simd] {
+        for kind in SchemeKind::ALL {
+            let options = RunOptions {
+                verify: true,
+                kernels,
+                ..RunOptions::default()
+            };
+            replay_with(kind, &trace, &config, &options).unwrap_or_else(|e| {
+                panic!("{kind} corrupted data under {kernels} kernels: {e}")
+            });
+        }
+    }
+    esd::kernels::set_backend(KernelBackend::Auto);
+}
 
 #[test]
 fn every_scheme_preserves_data_on_every_paper_workload() {

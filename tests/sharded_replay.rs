@@ -33,6 +33,7 @@ fn stress_options(shards: u32, batch: u32) -> RunOptions {
         quantum: 4_096,
         crash_at: None,
         journal_every: None,
+        kernels: esd::kernels::KernelBackend::Auto,
     }
 }
 
