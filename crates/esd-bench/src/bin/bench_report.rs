@@ -38,13 +38,12 @@
 
 use std::collections::HashMap;
 use std::hint::black_box;
-use std::path::PathBuf;
 use std::time::Instant;
 
 use esd_bench::report_json::{
-    default_report_path, read_previous_accesses_per_second, write_bench_json, BatchScaling,
+    read_previous_accesses_per_second, report_path_from_env, write_bench_json, BatchScaling,
     BenchExtras, EnvironmentInfo, KernelSpeedup, RecoveryCurve, RecoveryPoint, SerialBaseline,
-    ShardScaling,
+    ServiceCurve, ServicePoint, ServiceTenantRow, ShardScaling,
 };
 use esd_bench::Sweep;
 use esd_collections::{ShardedU64Map, U64Map};
@@ -609,10 +608,79 @@ fn measure_recovery_curve(config: &esd_sim::SystemConfig) -> RecoveryCurve {
     }
 }
 
+/// Runs the multi-tenant service load curve: every (tenants, qps)
+/// combination replayed through a fresh shared ESD instance with bounded
+/// per-tenant admission queues, recording achieved simulated throughput
+/// and tail latency. The per-tenant rows let CI gate on every tenant
+/// making progress and on `offered = admitted + rejected` with no leaks.
+fn measure_service_curve(config: &esd_sim::SystemConfig) -> ServiceCurve {
+    use esd_server::{run_load, LoadSpec, Service, ServiceConfig};
+    const REQUESTS_PER_TENANT: u64 = 2_000;
+    let shape = ServiceConfig {
+        system: config.clone(),
+        ..ServiceConfig::default()
+    };
+    let mut points = Vec::new();
+    for tenants in [2u32, 4, 8] {
+        for qps in [250_000u64, 1_000_000, 4_000_000] {
+            let mut service = Service::new(&ServiceConfig {
+                tenants,
+                ..shape.clone()
+            });
+            let spec = LoadSpec {
+                tenants,
+                qps,
+                requests_per_tenant: REQUESTS_PER_TENANT,
+                ..LoadSpec::default()
+            };
+            let report = run_load(&mut service, &spec);
+            let sim_seconds = report.summary.sim_end.as_ps() as f64 / 1e12;
+            let per_tenant: Vec<ServiceTenantRow> = report
+                .summary
+                .tenants
+                .iter()
+                .map(|t| ServiceTenantRow {
+                    tenant: t.tenant,
+                    admitted: t.admitted,
+                    rejected: t.rejected,
+                    dedup_rate: t.dedup_rate(),
+                    throughput_rps: if sim_seconds > 0.0 {
+                        (t.writes + t.reads) as f64 / sim_seconds
+                    } else {
+                        0.0
+                    },
+                    p99_ns: t.p99.as_ns_f64(),
+                })
+                .collect();
+            let worst = |f: &dyn Fn(&esd_server::TenantSummary) -> f64| -> f64 {
+                report.summary.tenants.iter().map(f).fold(0.0, f64::max)
+            };
+            points.push(ServicePoint {
+                tenants,
+                qps,
+                applied: report.summary.applied,
+                rejected: report.summary.tenants.iter().map(|t| t.rejected).sum(),
+                throughput_rps: report.achieved_throughput,
+                p50_ns: worst(&|t| t.p50.as_ns_f64()),
+                p95_ns: worst(&|t| t.p95.as_ns_f64()),
+                p99_ns: worst(&|t| t.p99.as_ns_f64()),
+                per_tenant,
+            });
+        }
+    }
+    ServiceCurve {
+        scheme: SchemeKind::Esd.name().into(),
+        queue_depth: shape.queue_depth,
+        batch: shape.batch,
+        workers: shape.workers,
+        requests_per_tenant: REQUESTS_PER_TENANT,
+        points,
+    }
+}
+
 fn main() {
     let sweep = Sweep::default();
-    let out_path = std::env::var_os("ESD_BENCH_OUT")
-        .map_or_else(default_report_path, PathBuf::from);
+    let out_path = report_path_from_env();
 
     eprintln!(
         "bench_report: {} workloads x {} schemes, {} accesses each, seed {}",
@@ -712,6 +780,16 @@ fn main() {
         );
     }
 
+    eprintln!("bench_report: multi-tenant service curve ...");
+    let service = measure_service_curve(&sweep.config);
+    for p in &service.points {
+        eprintln!(
+            "bench_report:   tenants {:>2} qps {:>8} {:>10.0} rps  p99 {:>7.0} ns  \
+             rejected {}",
+            p.tenants, p.qps, p.throughput_rps, p.p99_ns, p.rejected
+        );
+    }
+
     eprintln!("bench_report: serial baseline ...");
     let t0 = Instant::now();
     let serial_rows = sweep.run_serial(&SchemeKind::ALL);
@@ -771,6 +849,7 @@ fn main() {
             shard_scaling: &shard_scaling,
             batch_scaling: &batch_scaling,
             recovery: Some(&recovery),
+            service: Some(&service),
             environment: Some(&environment),
             previous_accesses_per_second: previous,
         },

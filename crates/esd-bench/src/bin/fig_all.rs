@@ -7,7 +7,7 @@
 //! binaries (`fig01`, `fig02`, `fig03`, `fig08`, `fig18`, `config`).
 
 use esd_bench::figures;
-use esd_bench::report_json::{default_report_path, write_bench_json, BenchExtras};
+use esd_bench::report_json::{report_path_from_env, write_bench_json, BenchExtras};
 use esd_bench::{print_figure_header, Sweep};
 use esd_core::SchemeKind;
 
@@ -21,7 +21,9 @@ fn main() {
     let outcome = sweep.run_timed(&SchemeKind::ALL);
     // Record the sweep's cost alongside the figures (no serial baseline
     // here; `bench_report` measures that).
-    let report_path = default_report_path();
+    // Honors ESD_BENCH_OUT like bench_report (a malformed value warns and
+    // falls back to the repo-root default).
+    let report_path = report_path_from_env();
     match write_bench_json(&report_path, &sweep, &outcome, &BenchExtras::default()) {
         Ok(()) => eprintln!(
             "sweep: {:.2}s on {} threads -> {}",

@@ -41,6 +41,16 @@
 //! (`aes`/`sha`/`avx2`/`ssse3`) and the selected `kernel_backend`, so a
 //! checked-in report records exactly which kernel implementations its
 //! numbers came from.
+//!
+//! Schema v9 adds a `service` block: the multi-tenant `esd-serve` load
+//! curve. Each point runs `tenants` open-loop request streams at a
+//! per-tenant offered rate (`qps`, requests per *simulated* second)
+//! through one shared scheme instance with bounded admission queues, and
+//! records the applied/rejected split, the achieved simulated throughput,
+//! the aggregate p50/p95/p99 request latency (queue wait + service), and
+//! one row per tenant (admitted, rejected, dedup rate, per-tenant
+//! throughput, p99) so CI can gate on every tenant making progress and on
+//! `offered = admitted + rejected` holding with zero leaks.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -59,6 +69,31 @@ pub fn default_report_path() -> PathBuf {
         .parent()
         .and_then(Path::parent)
         .map_or_else(|| PathBuf::from("BENCH_sweep.json"), |root| root.join("BENCH_sweep.json"))
+}
+
+/// Resolves `ESD_BENCH_OUT` the way every other `ESD_*` knob is read:
+/// unset means the default path, and a set-but-malformed value (empty or
+/// all-whitespace — the only way a path can be malformed) warns on stderr
+/// and falls back to the default instead of silently producing an
+/// unwritable `""` path.
+#[must_use]
+pub fn report_path_from_env() -> PathBuf {
+    resolve_report_path(std::env::var_os("ESD_BENCH_OUT").as_deref())
+}
+
+fn resolve_report_path(raw: Option<&std::ffi::OsStr>) -> PathBuf {
+    match raw {
+        None => default_report_path(),
+        Some(os) if os.to_string_lossy().trim().is_empty() => {
+            let fallback = default_report_path();
+            eprintln!(
+                "warning: ignoring empty ESD_BENCH_OUT (expected a file path); writing {}",
+                fallback.display()
+            );
+            fallback
+        }
+        Some(os) => PathBuf::from(os),
+    }
 }
 
 /// Serial-baseline measurement accompanying a parallel sweep: the same task
@@ -165,6 +200,65 @@ pub struct RecoveryPoint {
     pub lost_acknowledged_writes: u64,
 }
 
+/// The multi-tenant service measurement: the `tenants × qps` load curve
+/// of `esd-serve` over one shared scheme instance.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceCurve {
+    /// Scheme the shared store ran (the full ESD pipeline by default).
+    pub scheme: String,
+    /// Per-tenant admission-queue bound in effect for every point.
+    pub queue_depth: usize,
+    /// Fingerprint staging batch in effect for every point.
+    pub batch: usize,
+    /// Fingerprint precompute worker threads in effect for every point.
+    pub workers: usize,
+    /// Requests each tenant offered per point.
+    pub requests_per_tenant: u64,
+    /// One point per (tenants, qps) combination, in sweep order.
+    pub points: Vec<ServicePoint>,
+}
+
+/// One point of the service load curve.
+#[derive(Debug, Clone)]
+pub struct ServicePoint {
+    /// Concurrent tenants offering load.
+    pub tenants: u32,
+    /// Per-tenant offered rate, requests per simulated second.
+    pub qps: u64,
+    /// Requests applied across all tenants.
+    pub applied: u64,
+    /// Requests rejected by full admission queues, across all tenants.
+    pub rejected: u64,
+    /// Applied requests per simulated second, across all tenants.
+    pub throughput_rps: f64,
+    /// Median simulated request latency (queue wait + service), ns,
+    /// worst tenant.
+    pub p50_ns: f64,
+    /// 95th-percentile request latency, ns, worst tenant.
+    pub p95_ns: f64,
+    /// 99th-percentile request latency, ns, worst tenant.
+    pub p99_ns: f64,
+    /// One row per tenant.
+    pub per_tenant: Vec<ServiceTenantRow>,
+}
+
+/// One tenant's share of a service load point.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceTenantRow {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected with a retry hint.
+    pub rejected: u64,
+    /// Fraction of this tenant's writes eliminated by dedup.
+    pub dedup_rate: f64,
+    /// This tenant's applied requests per simulated second.
+    pub throughput_rps: f64,
+    /// This tenant's p99 request latency, ns.
+    pub p99_ns: f64,
+}
+
 /// The host state that produced a report: enough to tell whether two
 /// checked-in sweeps are comparable (same machine shape, same knobs, same
 /// build profile).
@@ -225,6 +319,8 @@ pub struct BenchExtras<'a> {
     pub batch_scaling: &'a [BatchScaling],
     /// Crash-recovery cost at increasing journal checkpoint intervals.
     pub recovery: Option<&'a RecoveryCurve>,
+    /// Multi-tenant service load curve (tenants × qps).
+    pub service: Option<&'a ServiceCurve>,
     /// Host state that produced the report.
     pub environment: Option<&'a EnvironmentInfo>,
     /// `accesses_per_second` of the previously checked-in report, for the
@@ -252,7 +348,7 @@ pub fn read_previous_accesses_per_second(path: &Path) -> Option<f64> {
 pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchExtras<'_>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v8"));
+    push_kv(&mut out, 1, "schema", &json_str("esd-bench-sweep/v9"));
     push_environment(&mut out, extras.environment);
     push_kv(&mut out, 1, "workloads", &sweep.apps.len().to_string());
     push_kv(&mut out, 1, "accesses_per_task", &sweep.accesses.to_string());
@@ -322,6 +418,7 @@ pub fn render_bench_json(sweep: &Sweep, outcome: &SweepOutcome, extras: &BenchEx
     push_shard_scaling(&mut out, extras.shard_scaling);
     push_batch_scaling(&mut out, extras.batch_scaling);
     push_recovery(&mut out, extras.recovery);
+    push_service(&mut out, extras.service);
     push_reliability(&mut out, sweep, outcome);
     push_latency(&mut out, sweep, outcome);
     push_epoch_series(&mut out, outcome);
@@ -576,6 +673,61 @@ fn push_recovery(out: &mut String, curve: Option<&RecoveryCurve>) {
     out.push_str("    ]\n  },\n");
 }
 
+/// The `service` block: the multi-tenant load curve plus the fixed
+/// service shape it was measured under.
+fn push_service(out: &mut String, curve: Option<&ServiceCurve>) {
+    let Some(curve) = curve else {
+        return;
+    };
+    if curve.points.is_empty() {
+        return;
+    }
+    out.push_str("  \"service\": {\n");
+    push_kv(out, 2, "scheme", &json_str(&curve.scheme));
+    push_kv(out, 2, "queue_depth", &curve.queue_depth.to_string());
+    push_kv(out, 2, "batch", &curve.batch.to_string());
+    push_kv(out, 2, "workers", &curve.workers.to_string());
+    push_kv(out, 2, "requests_per_tenant", &curve.requests_per_tenant.to_string());
+    out.push_str("    \"curve\": [\n");
+    for (i, p) in curve.points.iter().enumerate() {
+        out.push_str("      {");
+        out.push_str(&format!(
+            "\"tenants\": {}, \"qps\": {}, \"applied\": {}, \"rejected\": {}, \
+             \"throughput_rps\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"per_tenant\": [",
+            p.tenants,
+            p.qps,
+            p.applied,
+            p.rejected,
+            json_f64(p.throughput_rps),
+            json_f64(p.p50_ns),
+            json_f64(p.p95_ns),
+            json_f64(p.p99_ns)
+        ));
+        for (j, t) in p.per_tenant.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"tenant\": {}, \"admitted\": {}, \"rejected\": {}, \"dedup_rate\": {}, \
+                 \"throughput_rps\": {}, \"p99_ns\": {}}}",
+                t.tenant,
+                t.admitted,
+                t.rejected,
+                json_f64(t.dedup_rate),
+                json_f64(t.throughput_rps),
+                json_f64(t.p99_ns)
+            ));
+        }
+        out.push_str("]}");
+        if i + 1 < curve.points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]\n  },\n");
+}
+
 /// The `environment` block: what machine state produced the report.
 fn push_environment(out: &mut String, env: Option<&EnvironmentInfo>) {
     let Some(env) = env else {
@@ -738,6 +890,41 @@ mod tests {
                 },
             ],
         };
+        let service = ServiceCurve {
+            scheme: "ESD".into(),
+            queue_depth: 64,
+            batch: 16,
+            workers: 2,
+            requests_per_tenant: 2_000,
+            points: vec![ServicePoint {
+                tenants: 4,
+                qps: 1_000_000,
+                applied: 8_000,
+                rejected: 0,
+                throughput_rps: 4_000_000.0,
+                p50_ns: 120.0,
+                p95_ns: 300.0,
+                p99_ns: 450.0,
+                per_tenant: vec![
+                    ServiceTenantRow {
+                        tenant: 0,
+                        admitted: 2_000,
+                        rejected: 0,
+                        dedup_rate: 0.55,
+                        throughput_rps: 1_000_000.0,
+                        p99_ns: 450.0,
+                    },
+                    ServiceTenantRow {
+                        tenant: 1,
+                        admitted: 2_000,
+                        rejected: 0,
+                        dedup_rate: 0.61,
+                        throughput_rps: 1_000_000.0,
+                        p99_ns: 430.0,
+                    },
+                ],
+            }],
+        };
         assert!((kernels[0].speedup() - 4.0).abs() < 1e-12);
         let json = render_bench_json(
             &sweep,
@@ -751,11 +938,19 @@ mod tests {
                 shard_scaling: &shard_scaling,
                 batch_scaling: &batch_scaling,
                 recovery: Some(&recovery),
+                service: Some(&service),
                 environment: Some(&environment),
                 previous_accesses_per_second: Some(1000.0),
             },
         );
-        assert!(json.contains("\"schema\": \"esd-bench-sweep/v8\""));
+        assert!(json.contains("\"schema\": \"esd-bench-sweep/v9\""));
+        assert!(json.contains("\"service\": {"));
+        assert!(json.contains("\"queue_depth\": 64"));
+        assert!(json.contains("\"requests_per_tenant\": 2000"));
+        assert!(json.contains("\"tenants\": 4, \"qps\": 1000000"));
+        assert!(json.contains("\"throughput_rps\": 4000000.000000"));
+        assert!(json.contains("\"per_tenant\": [{\"tenant\": 0"));
+        assert!(json.contains("\"dedup_rate\": 0.550000"));
         assert!(json.contains("\"requested_threads\""));
         assert!(json.contains("\"effective_threads\""));
         assert!(json.contains("\"shard_scaling\": ["));
@@ -825,6 +1020,7 @@ mod tests {
         assert!(!json.contains("shard_scaling"));
         assert!(!json.contains("batch_scaling"));
         assert!(!json.contains("\"recovery\""));
+        assert!(!json.contains("\"service\""));
         assert!(!json.contains("\"environment\""));
         assert!(!json.contains("previous_accesses_per_second"));
     }
@@ -869,5 +1065,22 @@ mod tests {
         let p = default_report_path();
         assert!(p.ends_with("BENCH_sweep.json"));
         assert!(!p.to_string_lossy().contains("crates"));
+    }
+
+    #[test]
+    fn bench_out_resolution_warns_only_on_malformed_values() {
+        use std::ffi::OsStr;
+        // Unset: the default path, no warning possible.
+        assert_eq!(resolve_report_path(None), default_report_path());
+        // Set to a real path: taken verbatim.
+        assert_eq!(
+            resolve_report_path(Some(OsStr::new("/tmp/out.json"))),
+            PathBuf::from("/tmp/out.json")
+        );
+        // Set but empty / whitespace: malformed — falls back to the
+        // default instead of an unwritable "" path (the warning text is
+        // asserted by the esd-cli subprocess suite).
+        assert_eq!(resolve_report_path(Some(OsStr::new(""))), default_report_path());
+        assert_eq!(resolve_report_path(Some(OsStr::new("  "))), default_report_path());
     }
 }

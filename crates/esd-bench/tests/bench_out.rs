@@ -1,0 +1,95 @@
+//! Subprocess contract of `ESD_BENCH_OUT` (companion to the esd-cli
+//! `env_knobs.rs` suite): a set path redirects the report silently, and a
+//! set-but-malformed (empty) value warns on stderr and falls back to the
+//! repo-root default instead of dying on an unwritable `""` path.
+//!
+//! Driven through `fig_all` — the cheapest report-writing binary — with a
+//! tiny `ESD_ACCESSES` so each run is sub-second.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fig_all() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig_all"));
+    cmd.env("ESD_ACCESSES", "100");
+    cmd
+}
+
+fn repo_root_report() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/esd-bench sits two levels below the repo root")
+        .join("BENCH_sweep.json")
+}
+
+/// Restores the checked-in report on drop, so a test failure (or panic)
+/// cannot leave a tiny-sweep report in the working tree.
+struct RestoreReport {
+    path: PathBuf,
+    original: Option<Vec<u8>>,
+}
+
+impl RestoreReport {
+    fn capture(path: PathBuf) -> Self {
+        let original = std::fs::read(&path).ok();
+        RestoreReport { path, original }
+    }
+}
+
+impl Drop for RestoreReport {
+    fn drop(&mut self) {
+        match self.original.take() {
+            Some(bytes) => std::fs::write(&self.path, bytes).expect("restore BENCH_sweep.json"),
+            None => {
+                std::fs::remove_file(&self.path).ok();
+            }
+        }
+    }
+}
+
+#[test]
+fn set_bench_out_redirects_the_report_silently() {
+    let dir = std::env::temp_dir();
+    let target = dir.join("esd_bench_out_redirect_test.json");
+    std::fs::remove_file(&target).ok();
+    let out = fig_all()
+        .env("ESD_BENCH_OUT", &target)
+        .output()
+        .expect("fig_all runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("warning: ignoring"),
+        "a valid ESD_BENCH_OUT must not warn:\n{stderr}"
+    );
+    let report = std::fs::read_to_string(&target).expect("report written at the redirect");
+    assert!(report.contains("\"schema\": \"esd-bench-sweep/v9\""));
+    std::fs::remove_file(&target).ok();
+}
+
+#[test]
+fn empty_bench_out_warns_and_falls_back_to_the_default_path() {
+    let default_path = repo_root_report();
+    let _guard = RestoreReport::capture(default_path.clone());
+    let out = fig_all()
+        .env("ESD_BENCH_OUT", "")
+        .output()
+        .expect("fig_all runs");
+    assert!(
+        out.status.success(),
+        "an empty ESD_BENCH_OUT must not fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: ignoring empty ESD_BENCH_OUT"),
+        "stderr must warn about the ignored value:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("BENCH_sweep.json"),
+        "the warning must name the fallback path:\n{stderr}"
+    );
+    let written = std::fs::read_to_string(&default_path)
+        .expect("fallback report written at the repo root");
+    assert!(written.contains("\"schema\": \"esd-bench-sweep/v9\""));
+}

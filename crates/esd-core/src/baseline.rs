@@ -151,6 +151,15 @@ impl DedupScheme for Baseline {
     fn obs_mut(&mut self) -> Option<&mut esd_obs::Obs> {
         Some(&mut self.obs)
     }
+
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        self.cme.enable_tenancy(master);
+        true
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.cme.set_active_tenant(tenant);
+    }
 }
 
 #[cfg(test)]

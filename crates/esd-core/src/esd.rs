@@ -328,6 +328,15 @@ impl DedupScheme for Esd {
         self.core.journal = MetadataJournal::new(interval);
     }
 
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        self.core.enable_tenancy(master);
+        true
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.core.set_active_tenant(tenant);
+    }
+
     fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
         let _ = stage;
         // The EFIT is advisory SRAM: its pins evaporate with power. ESD

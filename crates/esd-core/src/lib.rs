@@ -61,6 +61,7 @@ mod runner;
 mod scheme;
 mod scrub;
 mod shard;
+pub mod tenant;
 mod variants;
 
 pub use alloc::PhysicalAllocator;

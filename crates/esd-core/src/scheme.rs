@@ -212,6 +212,20 @@ pub(crate) fn write_latency(start: Ps, finish: Ps) -> Ps {
         .expect("write completion must not precede its arrival")
 }
 
+/// `finish - start` for read-path and recovery intervals — the read-side
+/// twin of [`write_latency`], with the same contract: a completion earlier
+/// than its start is a timing-attribution bug and must panic rather than
+/// silently flatten to zero.
+pub(crate) fn elapsed_latency(start: Ps, finish: Ps) -> Ps {
+    debug_assert!(
+        finish >= start,
+        "interval finished at {finish} before it started at {start}"
+    );
+    finish
+        .checked_sub(start)
+        .expect("completion must not precede its start")
+}
+
 /// NVMM- and SRAM-resident metadata footprint (paper Figure 19).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetadataFootprint {
@@ -410,6 +424,24 @@ pub trait DedupScheme: Send {
         let _ = interval;
     }
 
+    /// Switches the scheme's encryption engine into multi-tenant service
+    /// mode: subsequent [`DedupScheme::set_active_tenant`] calls select a
+    /// per-tenant key derived from `master`
+    /// (`esd_crypto::derive_tenant_key`). Returns `false` when the scheme
+    /// has no per-tenant key support — the service must refuse such a
+    /// scheme rather than silently share one keystream across tenants.
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        let _ = master;
+        false
+    }
+
+    /// Selects the tenant whose derived key encrypts subsequent writes.
+    /// Only meaningful after [`DedupScheme::tenancy_configure`] returned
+    /// `true`; the default is a no-op for schemes without tenancy support.
+    fn set_active_tenant(&mut self, tenant: u32) {
+        let _ = tenant;
+    }
+
     /// Simulates a power loss at `now` with an access in flight at `stage`
     /// and recovers this scheme to a consistent state: advisory SRAM
     /// structures are dropped, durable metadata is replayed from the
@@ -506,6 +538,17 @@ impl Core {
     /// energy and bank occupancy only, never write latency).
     pub fn journal_record(&mut self, t: Ps) {
         self.journal.record(t, &mut self.nvmm);
+    }
+
+    /// Switches this core's CME engine into multi-tenant mode (see
+    /// [`esd_crypto::CmeEngine::enable_tenancy`]).
+    pub fn enable_tenancy(&mut self, master: [u8; 16]) {
+        self.cme.enable_tenancy(master);
+    }
+
+    /// Selects the tenant whose derived key encrypts subsequent writes.
+    pub fn set_active_tenant(&mut self, tenant: u32) {
+        self.cme.set_active_tenant(tenant);
     }
 
     /// Charges one cryptographic operation's energy.
@@ -638,7 +681,7 @@ impl Core {
         if verify_read {
             let completion = self.nvmm.charge_remote_read(t);
             self.stats.compare_reads += 1;
-            self.breakdown.compare_read += completion.finish.saturating_sub(t);
+            self.breakdown.compare_read += write_latency(t, completion.finish);
             self.obs.span("write", "compare_read", t, completion.finish);
             let compared = completion.finish + self.compare_latency;
             self.breakdown.compare += self.compare_latency;
@@ -655,7 +698,7 @@ impl Core {
         self.stats.dedup_cache_filtered += 1;
         self.obs.counter_add("remote_dedup", 1);
         let done = self.remap_remote(t, logical, entry.line, on_free);
-        self.breakdown.mapping_update += done.saturating_sub(t);
+        self.breakdown.mapping_update += write_latency(t, done);
         self.obs.span("write", "mapping_update", t, done);
         RemoteProbe::Dedup(WriteResult {
             processing_done: done,
@@ -939,7 +982,7 @@ impl Core {
 
         RecoverySummary {
             finish: t,
-            latency: t.saturating_sub(now),
+            latency: elapsed_latency(now, t),
             records_replayed,
             replay_reads,
             pins_released: 0,
@@ -1095,6 +1138,32 @@ mod tests {
         // Re-dedup of the same mapping is a no-op.
         core.remap_to(Ps::ZERO, 0x40, p2, &mut |p| freed.push(p));
         assert_eq!(core.alloc.refcount(p2), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_monotone_write_completion_panics() {
+        // A device completion earlier than the write's arrival is a
+        // timing-attribution bug; it must not be flattened to zero latency.
+        let _ = write_latency(Ps::from_ns(10), Ps::from_ns(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_monotone_read_completion_panics() {
+        let _ = elapsed_latency(Ps::from_ns(10), Ps::from_ns(5));
+    }
+
+    #[test]
+    fn monotone_latencies_subtract_exactly() {
+        assert_eq!(
+            write_latency(Ps::from_ns(5), Ps::from_ns(12)),
+            Ps::from_ns(7)
+        );
+        assert_eq!(
+            elapsed_latency(Ps::from_ns(5), Ps::from_ns(5)),
+            Ps::ZERO
+        );
     }
 
     #[test]

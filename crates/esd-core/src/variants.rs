@@ -260,6 +260,15 @@ impl DedupScheme for HashDedup {
         self.core.journal = MetadataJournal::new(interval);
     }
 
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        self.core.enable_tenancy(master);
+        true
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.core.set_active_tenant(tenant);
+    }
+
     fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
         let _ = stage;
         // The NVMM-resident index survives; only its SRAM cache is lost.
@@ -439,6 +448,15 @@ impl DedupScheme for EsdFull {
         self.core.journal = MetadataJournal::new(interval);
     }
 
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        self.core.enable_tenancy(master);
+        true
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.core.set_active_tenant(tenant);
+    }
+
     fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {
         let _ = stage;
         // The NVMM-resident index survives; only its SRAM cache is lost.
@@ -585,6 +603,15 @@ impl DedupScheme for EsdNoVerify {
 
     fn journal_configure(&mut self, interval: Option<u64>) {
         self.core.journal = MetadataJournal::new(interval);
+    }
+
+    fn tenancy_configure(&mut self, master: [u8; 16]) -> bool {
+        self.core.enable_tenancy(master);
+        true
+    }
+
+    fn set_active_tenant(&mut self, tenant: u32) {
+        self.core.set_active_tenant(tenant);
     }
 
     fn crash_recover_at(&mut self, now: Ps, stage: CrashStage, torn_write: bool) -> RecoverySummary {

@@ -90,6 +90,25 @@ impl PadSlot {
     };
 }
 
+/// Multi-tenant key state for a [`CmeEngine`] serving several trust
+/// domains from one shared store.
+///
+/// Each tenant encrypts under its own key derived from `master` (see
+/// [`crate::derive_tenant_key`]); `owners` remembers which tenant's key
+/// protected each line address so reads — including cross-tenant reads of
+/// a deduplicated physical line — regenerate the right pad.
+#[derive(Debug, Clone)]
+struct Tenancy {
+    master: [u8; 16],
+    /// Tenant whose key encrypts subsequent writes; `None` until the first
+    /// [`CmeEngine::set_active_tenant`] call.
+    active: Option<u32>,
+    /// Tenant id → derived cipher, filled at registration.
+    ciphers: U64Map<Aes128>,
+    /// Line address → tenant whose key encrypted it last.
+    owners: U64Map<u64>,
+}
+
 /// Counter-mode encryption engine with a per-line counter store.
 ///
 /// # Examples
@@ -117,6 +136,8 @@ pub struct CmeEngine {
     cost: CmeCostModel,
     lines_encrypted: u64,
     lines_decrypted: u64,
+    /// Per-tenant key state; `None` outside the multi-tenant service mode.
+    tenancy: Option<Tenancy>,
 }
 
 impl CmeEngine {
@@ -140,6 +161,7 @@ impl CmeEngine {
             cost,
             lines_encrypted: 0,
             lines_decrypted: 0,
+            tenancy: None,
         };
         engine.set_pad_cache_lines(DEFAULT_PAD_CACHE_LINES);
         engine
@@ -190,6 +212,80 @@ impl CmeEngine {
         self.counters.get(addr).copied()
     }
 
+    /// Switches the engine into multi-tenant mode: subsequent tenants
+    /// registered via [`CmeEngine::set_active_tenant`] encrypt under keys
+    /// derived from `master` (one key per tenant, see
+    /// [`crate::derive_tenant_key`]). Lines encrypted before a tenant was
+    /// activated — and any line written with no active tenant — stay under
+    /// the engine's base key.
+    ///
+    /// Idempotent; re-enabling with the same master keeps registered
+    /// tenants and line ownership intact.
+    pub fn enable_tenancy(&mut self, master: [u8; 16]) {
+        match &self.tenancy {
+            Some(t) if t.master == master => {}
+            _ => {
+                self.tenancy = Some(Tenancy {
+                    master,
+                    active: None,
+                    ciphers: U64Map::new(),
+                    owners: U64Map::new(),
+                });
+            }
+        }
+    }
+
+    /// Selects the tenant whose derived key encrypts subsequent
+    /// [`CmeEngine::encrypt_line`] calls, deriving and caching the key on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tenancy was never enabled — activating a tenant on a
+    /// single-key engine would silently encrypt under the wrong key.
+    pub fn set_active_tenant(&mut self, tenant: u32) {
+        let tenancy = self
+            .tenancy
+            .as_mut()
+            .expect("enable_tenancy before set_active_tenant");
+        tenancy.active = Some(tenant);
+        let master = tenancy.master;
+        tenancy
+            .ciphers
+            .get_or_insert_with(u64::from(tenant), || {
+                Aes128::new(&crate::derive_tenant_key(&master, tenant))
+            });
+    }
+
+    /// The tenant currently selected for encryption, if tenancy is enabled
+    /// and a tenant was activated.
+    #[must_use]
+    pub fn active_tenant(&self) -> Option<u32> {
+        self.tenancy.as_ref().and_then(|t| t.active)
+    }
+
+    /// The tenant whose key encrypted `addr` last, if tenancy is enabled
+    /// and the line was written under an active tenant.
+    #[must_use]
+    pub fn line_owner(&self, addr: u64) -> Option<u32> {
+        let tenancy = self.tenancy.as_ref()?;
+        tenancy.owners.get(addr).map(|&t| t as u32)
+    }
+
+    /// The cipher that protects (or will protect) `addr`: the owning
+    /// tenant's derived key when one is recorded, the base key otherwise.
+    fn cipher_for_addr(&self, addr: u64) -> &Aes128 {
+        if let Some(tenancy) = &self.tenancy {
+            if let Some(&owner) = tenancy.owners.get(addr) {
+                return tenancy
+                    .ciphers
+                    .get(owner)
+                    .expect("line owners are always registered tenants");
+            }
+        }
+        &self.cipher
+    }
+
     /// Encrypts a line for the given address, bumping its write counter.
     ///
     /// The freshly expanded pad replaces any cached pad for this address —
@@ -199,6 +295,18 @@ impl CmeEngine {
         *counter += 1;
         let ctr = *counter;
         self.lines_encrypted += 1;
+        // Under tenancy the active tenant takes (or keeps) ownership of the
+        // line, so the pad below — and every future decrypt — uses its key.
+        if let Some(tenancy) = &mut self.tenancy {
+            match tenancy.active {
+                Some(tenant) => {
+                    tenancy.owners.insert(addr, u64::from(tenant));
+                }
+                None => {
+                    tenancy.owners.remove(addr);
+                }
+            }
+        }
         let pad = self.generate_pad(addr, ctr);
         self.store_pad(addr, ctr, &pad);
         xor_line(&pad, plain)
@@ -237,6 +345,7 @@ impl CmeEngine {
     /// Expands the keystream pad for `(addr, counter)`: four AES blocks
     /// whose tweaks differ only in byte 15 (the block index), generated in
     /// one interleaved [`Aes128::encrypt4`] pass over the key schedule.
+    /// Under tenancy the owning tenant's derived key is used.
     fn generate_pad(&self, addr: u64, counter: u64) -> [u8; LINE_BYTES] {
         let mut tweak = [0u8; 16];
         tweak[..8].copy_from_slice(&addr.to_le_bytes());
@@ -246,7 +355,7 @@ impl CmeEngine {
             t[15] = block as u8;
             t
         });
-        let blocks = self.cipher.encrypt4(tweaks);
+        let blocks = self.cipher_for_addr(addr).encrypt4(tweaks);
         let mut pad = [0u8; LINE_BYTES];
         for (pad16, block) in pad.chunks_exact_mut(16).zip(&blocks) {
             pad16.copy_from_slice(block);
@@ -391,6 +500,69 @@ mod tests {
         // Batch pad generation is side-effect-free.
         assert_eq!(cme.lines_encrypted(), 9);
         assert_eq!(cme.counter(0), Some(1));
+    }
+
+    #[test]
+    fn tenant_keys_round_trip_and_survive_active_switches() {
+        let mut cme = CmeEngine::new([7u8; 16]);
+        cme.enable_tenancy([0x99; 16]);
+        cme.set_active_tenant(1);
+        let plain_a = [0xA1u8; LINE_BYTES];
+        let c_a = cme.encrypt_line(0x40, &plain_a);
+        cme.set_active_tenant(2);
+        let plain_b = [0xB2u8; LINE_BYTES];
+        let c_b = cme.encrypt_line(0x80, &plain_b);
+        // Decrypts select the *owner's* key, not the active tenant's: a
+        // cross-tenant read of a deduplicated line must still round-trip.
+        assert_eq!(cme.decrypt_line(0x40, &c_a).unwrap(), plain_a);
+        assert_eq!(cme.decrypt_line(0x80, &c_b).unwrap(), plain_b);
+        assert_eq!(cme.line_owner(0x40), Some(1));
+        assert_eq!(cme.line_owner(0x80), Some(2));
+        assert_eq!(cme.active_tenant(), Some(2));
+    }
+
+    #[test]
+    fn tenants_never_share_keystream() {
+        // Encrypting all-zeros exposes the raw pad; the same (addr,
+        // counter) under two tenants must produce unrelated pads, and both
+        // must differ from the base key's pad.
+        let zero = [0u8; LINE_BYTES];
+        let pad_for = |tenant: Option<u32>| {
+            let mut cme = CmeEngine::new([7u8; 16]);
+            cme.enable_tenancy([0x99; 16]);
+            if let Some(t) = tenant {
+                cme.set_active_tenant(t);
+            }
+            cme.encrypt_line(0x40, &zero)
+        };
+        let base = pad_for(None);
+        let one = pad_for(Some(1));
+        let two = pad_for(Some(2));
+        assert_ne!(one, two);
+        assert_ne!(base, one);
+        assert_ne!(base, two);
+    }
+
+    #[test]
+    fn lines_written_before_tenancy_stay_readable() {
+        let mut cme = CmeEngine::new([7u8; 16]);
+        let plain = [0xC3u8; LINE_BYTES];
+        let cipher = cme.encrypt_line(0x40, &plain);
+        cme.enable_tenancy([0x99; 16]);
+        cme.set_active_tenant(5);
+        assert_eq!(cme.decrypt_line(0x40, &cipher).unwrap(), plain);
+        assert_eq!(cme.line_owner(0x40), None, "base-key line has no owner");
+        // A rewrite under the active tenant takes ownership.
+        let c2 = cme.encrypt_line(0x40, &plain);
+        assert_eq!(cme.line_owner(0x40), Some(5));
+        assert_eq!(cme.decrypt_line(0x40, &c2).unwrap(), plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_tenancy")]
+    fn activating_a_tenant_without_tenancy_panics() {
+        let mut cme = CmeEngine::new([7u8; 16]);
+        cme.set_active_tenant(1);
     }
 
     #[test]

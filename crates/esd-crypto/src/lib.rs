@@ -32,9 +32,11 @@ mod aes;
 #[cfg(target_arch = "x86_64")]
 mod aes_ni;
 mod ctr;
+mod kdf;
 
 pub use aes::Aes128;
 pub use ctr::{CmeCostModel, CmeEngine, UnknownCounterError, LINE_BYTES};
+pub use kdf::derive_tenant_key;
 
 #[cfg(test)]
 mod tests {

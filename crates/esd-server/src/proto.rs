@@ -1,0 +1,385 @@
+//! Request/response protocol of the dedup service, with the length-prefixed
+//! wire framing used by the TCP front end.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload
+//! length followed by that many payload bytes. The payload is a fixed
+//! byte-tagged layout (no self-describing serialization — the protocol is
+//! four message shapes, and a hand-rolled codec keeps the crate
+//! dependency-free):
+//!
+//! ```text
+//! request  := 0x01 tenant:u32 seq:u64 local:u64 line:[u8;64]   (write)
+//!           | 0x02 tenant:u32 seq:u64 local:u64                (read)
+//! response := 0x81 seq:u64 dedup:u8 latency_ps:u64             (written)
+//!           | 0x82 seq:u64 latency_ps:u64 line:[u8;64]         (data)
+//!           | 0x83 seq:u64 retry_after_ps:u64                  (rejected)
+//! ```
+//!
+//! `Rejected` is the admission queue's backpressure signal: the tenant's
+//! bounded queue was full, nothing was enqueued, and the client should wait
+//! roughly `retry_after` (simulated time) before retrying.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use esd_sim::Ps;
+use esd_trace::CacheLine;
+
+/// Hard ceiling on a frame payload, far above any legal message — a
+/// corrupt or hostile length prefix must not trigger a giant allocation.
+pub const MAX_FRAME_BYTES: u32 = 4096;
+
+/// One tenant operation against its private namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Write `line` at the tenant-local address `local`.
+    Write {
+        /// Tenant-local line address.
+        local: u64,
+        /// The 64-byte line content.
+        line: CacheLine,
+    },
+    /// Read the line at tenant-local address `local`.
+    Read {
+        /// Tenant-local line address.
+        local: u64,
+    },
+}
+
+/// A request stamped with its origin and position in the tenant's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Originating tenant.
+    pub tenant: u32,
+    /// Position in the tenant's stream; responses echo it back.
+    pub seq: u64,
+    /// Simulated arrival time; the scheduler applies requests in global
+    /// `(arrival, tenant, seq)` order.
+    pub arrival: Ps,
+    /// The operation itself.
+    pub request: Request,
+}
+
+/// What the service sends back for one [`Envelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// The write was applied.
+    Written {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Whether the write deduplicated against the shared store.
+        deduplicated: bool,
+        /// End-to-end simulated latency (queue wait + service).
+        latency: Ps,
+    },
+    /// The read completed.
+    Data {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// End-to-end simulated latency (queue wait + service).
+        latency: Ps,
+        /// The line content (zero line for unmapped addresses).
+        line: CacheLine,
+    },
+    /// The tenant's admission queue was full; nothing was enqueued.
+    Rejected {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Suggested simulated backoff before retrying.
+        retry_after: Ps,
+    },
+}
+
+impl Response {
+    /// The request sequence number this response answers.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match *self {
+            Response::Written { seq, .. }
+            | Response::Data { seq, .. }
+            | Response::Rejected { seq, .. } => seq,
+        }
+    }
+}
+
+/// Decoding failure: a frame that is not a well-formed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was wrong with the frame.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed service frame: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+    if buf.len() < n {
+        return Err(DecodeError { reason: what });
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_u32(buf: &mut &[u8], what: &'static str) -> Result<u32, DecodeError> {
+    let b = take(buf, 4, what)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+}
+
+fn take_u64(buf: &mut &[u8], what: &'static str) -> Result<u64, DecodeError> {
+    let b = take(buf, 8, what)?;
+    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn take_line(buf: &mut &[u8]) -> Result<CacheLine, DecodeError> {
+    let b = take(buf, 64, "truncated line payload")?;
+    Ok(CacheLine::new(b.try_into().expect("64 bytes")))
+}
+
+/// Encodes a request envelope as one frame payload (no length prefix).
+#[must_use]
+pub fn encode_request(env: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(85);
+    match env.request {
+        Request::Write { local, line } => {
+            out.push(0x01);
+            out.extend_from_slice(&env.tenant.to_le_bytes());
+            out.extend_from_slice(&env.seq.to_le_bytes());
+            out.extend_from_slice(&local.to_le_bytes());
+            out.extend_from_slice(line.as_bytes());
+        }
+        Request::Read { local } => {
+            out.push(0x02);
+            out.extend_from_slice(&env.tenant.to_le_bytes());
+            out.extend_from_slice(&env.seq.to_le_bytes());
+            out.extend_from_slice(&local.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request frame payload. The arrival stamp is the receiver's to
+/// assign (wire requests carry no clock), so it comes back as [`Ps::ZERO`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an unknown tag, truncation, or trailing bytes.
+pub fn decode_request(mut payload: &[u8]) -> Result<Envelope, DecodeError> {
+    let tag = take(&mut payload, 1, "empty frame")?[0];
+    let tenant = take_u32(&mut payload, "truncated tenant id")?;
+    let seq = take_u64(&mut payload, "truncated sequence number")?;
+    let local = take_u64(&mut payload, "truncated address")?;
+    let request = match tag {
+        0x01 => Request::Write {
+            local,
+            line: take_line(&mut payload)?,
+        },
+        0x02 => Request::Read { local },
+        _ => return Err(DecodeError { reason: "unknown request tag" }),
+    };
+    if !payload.is_empty() {
+        return Err(DecodeError { reason: "trailing bytes after request" });
+    }
+    Ok(Envelope {
+        tenant,
+        seq,
+        arrival: Ps::ZERO,
+        request,
+    })
+}
+
+/// Encodes a response as one frame payload (no length prefix).
+#[must_use]
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(81);
+    match *resp {
+        Response::Written { seq, deduplicated, latency } => {
+            out.push(0x81);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(u8::from(deduplicated));
+            out.extend_from_slice(&latency.as_ps().to_le_bytes());
+        }
+        Response::Data { seq, latency, line } => {
+            out.push(0x82);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&latency.as_ps().to_le_bytes());
+            out.extend_from_slice(line.as_bytes());
+        }
+        Response::Rejected { seq, retry_after } => {
+            out.push(0x83);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&retry_after.as_ps().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response frame payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an unknown tag, truncation, or trailing bytes.
+pub fn decode_response(mut payload: &[u8]) -> Result<Response, DecodeError> {
+    let tag = take(&mut payload, 1, "empty frame")?[0];
+    let seq = take_u64(&mut payload, "truncated sequence number")?;
+    let resp = match tag {
+        0x81 => {
+            let dedup = take(&mut payload, 1, "truncated dedup flag")?[0];
+            let latency = Ps(take_u64(&mut payload, "truncated latency")?);
+            Response::Written {
+                seq,
+                deduplicated: dedup != 0,
+                latency,
+            }
+        }
+        0x82 => {
+            let latency = Ps(take_u64(&mut payload, "truncated latency")?);
+            Response::Data {
+                seq,
+                latency,
+                line: take_line(&mut payload)?,
+            }
+        }
+        0x83 => Response::Rejected {
+            seq,
+            retry_after: Ps(take_u64(&mut payload, "truncated retry hint")?),
+        },
+        _ => return Err(DecodeError { reason: "unknown response tag" }),
+    };
+    if !payload.is_empty() {
+        return Err(DecodeError { reason: "trailing bytes after response" });
+    }
+    Ok(resp)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frames are tiny");
+    assert!(len <= MAX_FRAME_BYTES, "oversized frame");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for an oversized length prefix, `UnexpectedEof`
+/// for mid-frame truncation, and propagates other I/O errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(request: Request) -> Envelope {
+        Envelope {
+            tenant: 3,
+            seq: 41,
+            arrival: Ps::ZERO,
+            request,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for request in [
+            Request::Write {
+                local: 0x1240,
+                line: CacheLine::from_seed(9),
+            },
+            Request::Read { local: 0x80 },
+        ] {
+            let env = envelope(request);
+            let decoded = decode_request(&encode_request(&env)).unwrap();
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Written {
+                seq: 7,
+                deduplicated: true,
+                latency: Ps::from_ns(120),
+            },
+            Response::Data {
+                seq: 8,
+                latency: Ps::from_ns(55),
+                line: CacheLine::from_fill(0xAB),
+            },
+            Response::Rejected {
+                seq: 9,
+                retry_after: Ps::from_us(2),
+            },
+        ] {
+            let decoded = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(decoded, resp);
+            assert_eq!(decoded.seq(), resp.seq());
+        }
+    }
+
+    #[test]
+    fn truncated_and_unknown_frames_are_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0x01, 1, 2]).is_err());
+        assert!(decode_request(&[0x7F; 21]).is_err());
+        assert!(decode_response(&[0x55; 9]).is_err());
+        // Trailing garbage is an error, not silently ignored.
+        let mut frame = encode_request(&envelope(Request::Read { local: 0x40 }));
+        frame.push(0xFF);
+        assert!(decode_request(&frame).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let env = envelope(Request::Write {
+            local: 0x40,
+            line: CacheLine::from_seed(3),
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&env)).unwrap();
+        write_frame(&mut wire, &encode_request(&env)).unwrap();
+        let mut cursor = wire.as_slice();
+        for _ in 0..2 {
+            let payload = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(decode_request(&payload).unwrap(), env);
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocating() {
+        let wire = u32::MAX.to_le_bytes();
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,788 @@
+//! The multi-tenant dedup service: one shared scheme instance, per-tenant
+//! namespaces and keys, bounded admission queues, and a deterministic
+//! batched apply path.
+//!
+//! # Determinism
+//!
+//! Requests are applied in global `(arrival, seq, tenant)` order. The
+//! batch size only controls how many due requests are *staged* together
+//! for fingerprint precomputation, and the worker count only splits that
+//! pure precomputation across threads — neither changes the apply order,
+//! the simulated clock evolution, or any admission decision, so per-tenant
+//! stats and the final shared-store state are byte-identical across batch
+//! sizes and worker counts (see the `determinism` integration tests).
+//!
+//! # Fairness
+//!
+//! With tenants offering same-timestamp bursts, the global order breaks
+//! ties by sequence number before tenant id — request `i` of every
+//! tenant runs before request `i + 1` of any tenant, a strict
+//! round-robin interleave rather than burst-at-a-time service. The live
+//! front end ([`crate::live`]) stamps arrivals by
+//! visiting tenant inboxes round-robin, so backlogged tenants share the
+//! scheme in the same rotation.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use esd_core::{build_scheme, tenant as ns, DedupScheme, FingerprintSpec, SchemeKind};
+use esd_obs::Registry;
+use esd_sim::{Ps, SystemConfig};
+
+use crate::proto::{Envelope, Request, Response};
+
+/// Fallback per-request service estimate used for retry hints before the
+/// first request completes.
+const DEFAULT_SERVICE_ESTIMATE: Ps = Ps(200_000); // 200 ns
+
+/// Configuration of a [`Service`] instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Which dedup scheme backs the shared store.
+    pub scheme: SchemeKind,
+    /// Number of tenants (ids `0..tenants`).
+    pub tenants: u32,
+    /// Bound on each tenant's admitted-but-incomplete requests; an arrival
+    /// beyond it is rejected with a retry hint.
+    pub queue_depth: usize,
+    /// How many due requests are staged together for fingerprint
+    /// precomputation before being applied (apply order is unaffected).
+    pub batch: usize,
+    /// Worker threads splitting the staged fingerprint precomputation;
+    /// `1` computes inline.
+    pub workers: usize,
+    /// Master key from which every tenant's CME key is derived.
+    pub master_key: [u8; 16],
+    /// Simulated system configuration for the shared scheme instance.
+    pub system: SystemConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            scheme: SchemeKind::Esd,
+            tenants: 4,
+            queue_depth: 64,
+            batch: 16,
+            workers: 1,
+            master_key: [0x4D; 16],
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+/// Interns a metric name, so the `&'static str` names the `esd-obs`
+/// registry requires can be built per tenant without leaking a fresh copy
+/// for every [`Service`] constructed in the same process.
+fn intern(name: String) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("intern table lock");
+    if let Some(&s) = table.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, leaked);
+    leaked
+}
+
+/// The interned registry names of one tenant's metrics.
+#[derive(Debug, Clone, Copy)]
+struct TenantMetricNames {
+    accesses: &'static str,
+    writes: &'static str,
+    reads: &'static str,
+    deduplicated: &'static str,
+    rejected: &'static str,
+    latency: &'static str,
+}
+
+impl TenantMetricNames {
+    fn new(tenant: u32) -> Self {
+        TenantMetricNames {
+            accesses: intern(format!("tenant{tenant}/accesses")),
+            writes: intern(format!("tenant{tenant}/writes")),
+            reads: intern(format!("tenant{tenant}/reads")),
+            deduplicated: intern(format!("tenant{tenant}/deduplicated")),
+            rejected: intern(format!("tenant{tenant}/rejected")),
+            latency: intern(format!("tenant{tenant}/request_latency")),
+        }
+    }
+}
+
+/// Per-tenant admission queue and accounting.
+#[derive(Debug)]
+struct TenantState {
+    /// Admitted requests not yet staged, in arrival order.
+    queue: VecDeque<Envelope>,
+    /// Admitted-but-incomplete requests (queued **or** staged); this is
+    /// what the queue depth bounds, so staging cannot open admission room
+    /// that batch size would then influence.
+    outstanding: usize,
+    offered: u64,
+    admitted: u64,
+    rejected: u64,
+    writes: u64,
+    reads: u64,
+    deduplicated: u64,
+    names: TenantMetricNames,
+}
+
+impl TenantState {
+    fn new(tenant: u32) -> Self {
+        TenantState {
+            queue: VecDeque::new(),
+            outstanding: 0,
+            offered: 0,
+            admitted: 0,
+            rejected: 0,
+            writes: 0,
+            reads: 0,
+            deduplicated: 0,
+            names: TenantMetricNames::new(tenant),
+        }
+    }
+}
+
+/// Stats summary of one tenant, with simulated request-latency tail
+/// percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests presented for admission.
+    pub offered: u64,
+    /// Requests admitted (and eventually applied).
+    pub admitted: u64,
+    /// Requests rejected by the full admission queue.
+    pub rejected: u64,
+    /// Writes applied.
+    pub writes: u64,
+    /// Reads applied.
+    pub reads: u64,
+    /// Writes that deduplicated against the shared store.
+    pub deduplicated: u64,
+    /// Median simulated request latency (queue wait + service).
+    pub p50: Ps,
+    /// 95th-percentile simulated request latency.
+    pub p95: Ps,
+    /// 99th-percentile simulated request latency.
+    pub p99: Ps,
+}
+
+impl TenantSummary {
+    /// Fraction of this tenant's writes eliminated by deduplication.
+    #[must_use]
+    pub fn dedup_rate(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.deduplicated as f64 / self.writes as f64
+        }
+    }
+}
+
+/// Whole-service summary: per-tenant stats plus shared-store totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// One row per tenant, in tenant-id order.
+    pub tenants: Vec<TenantSummary>,
+    /// Requests applied across all tenants.
+    pub applied: u64,
+    /// Simulated clock after the last applied request.
+    pub sim_end: Ps,
+    /// Digest of the shared-store state (scheme stats, device stats,
+    /// metadata footprint, per-tenant registry export) — equal digests
+    /// mean byte-identical outcomes.
+    pub state_digest: u64,
+}
+
+/// The multi-tenant service: one shared scheme, per-tenant queues, a
+/// deterministic batched apply path, and live stats in an `esd-obs`
+/// registry.
+///
+/// # Examples
+///
+/// ```
+/// use esd_server::{Envelope, Request, Response, Service, ServiceConfig};
+/// use esd_sim::Ps;
+/// use esd_trace::CacheLine;
+///
+/// let mut service = Service::new(&ServiceConfig::default());
+/// let line = CacheLine::from_fill(7);
+/// let events = (0..2u32).map(|tenant| Envelope {
+///     tenant,
+///     seq: 0,
+///     arrival: Ps::ZERO,
+///     request: Request::Write { local: 0x40, line },
+/// }).collect();
+/// let responses = service.run_events(events);
+/// // Identical plaintext from two tenants deduplicates in the shared store:
+/// assert!(responses.iter().any(|(_, r)| matches!(r,
+///     Response::Written { deduplicated: true, .. })));
+/// ```
+pub struct Service {
+    scheme: Box<dyn DedupScheme>,
+    spec: Option<FingerprintSpec>,
+    tenants: Vec<TenantState>,
+    registry: Registry,
+    clock: Ps,
+    queue_depth: usize,
+    batch: usize,
+    workers: usize,
+    applied: u64,
+    /// Sum of pure service latencies, for the retry-hint estimate.
+    service_total: Ps,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("tenants", &self.tenants.len())
+            .field("clock", &self.clock)
+            .field("queue_depth", &self.queue_depth)
+            .field("batch", &self.batch)
+            .field("workers", &self.workers)
+            .field("applied", &self.applied)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Builds the shared scheme, enables per-tenant keys, and registers
+    /// `config.tenants` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero tenants/queue depth, on a tenant count above
+    /// [`esd_core::tenant::MAX_TENANT`], and on a scheme without
+    /// per-tenant key support (sharing one keystream across tenants would
+    /// silently void the isolation contract).
+    #[must_use]
+    pub fn new(config: &ServiceConfig) -> Self {
+        assert!(config.tenants > 0, "a service needs at least one tenant");
+        assert!(
+            config.tenants <= ns::MAX_TENANT,
+            "tenant count exceeds the namespace field"
+        );
+        assert!(config.queue_depth > 0, "queue depth must be nonzero");
+        let mut scheme = build_scheme(config.scheme, &config.system);
+        assert!(
+            scheme.tenancy_configure(config.master_key),
+            "scheme {:?} has no per-tenant key support",
+            config.scheme
+        );
+        let spec = scheme.fingerprint_spec();
+        Service {
+            scheme,
+            spec,
+            tenants: (0..config.tenants).map(TenantState::new).collect(),
+            registry: Registry::new(),
+            clock: Ps::ZERO,
+            queue_depth: config.queue_depth,
+            batch: config.batch.max(1),
+            workers: config.workers.max(1),
+            applied: 0,
+            service_total: Ps::ZERO,
+        }
+    }
+
+    /// Number of configured tenants.
+    #[must_use]
+    pub fn tenant_count(&self) -> u32 {
+        self.tenants.len() as u32
+    }
+
+    /// The simulated clock after the last applied request.
+    #[must_use]
+    pub fn clock(&self) -> Ps {
+        self.clock
+    }
+
+    /// Admitted-but-unapplied requests across all tenants.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// The live metrics registry (per-tenant counters and latency
+    /// histograms).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The live metrics as a JSON object (the `esd-obs` registry export).
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.registry.to_json()
+    }
+
+    /// The shared scheme, for store-level inspection.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn DedupScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Offers one request for admission. Returns `None` when it was
+    /// queued, or `Some(Rejected)` with a retry hint when the tenant's
+    /// bounded queue is full (the request is dropped — backpressure is the
+    /// client's to handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a tenant id outside `0..tenant_count()`.
+    pub fn admit(&mut self, env: Envelope) -> Option<Response> {
+        let estimate = self.service_estimate();
+        let state = &mut self.tenants[env.tenant as usize];
+        state.offered += 1;
+        if state.outstanding >= self.queue_depth {
+            state.rejected += 1;
+            self.registry.counter_add(state.names.rejected, 1);
+            // Rough deterministic drain estimate: everything ahead of this
+            // request at the average observed service latency.
+            let retry_after = estimate * (state.outstanding as u64);
+            return Some(Response::Rejected {
+                seq: env.seq,
+                retry_after,
+            });
+        }
+        state.admitted += 1;
+        state.outstanding += 1;
+        state.queue.push_back(env);
+        None
+    }
+
+    fn service_estimate(&self) -> Ps {
+        if self.applied == 0 {
+            DEFAULT_SERVICE_ESTIMATE
+        } else {
+            self.service_total / self.applied
+        }
+    }
+
+    /// Pops up to `batch` queued requests in global `(arrival, seq,
+    /// tenant)` order (per-tenant queues are FIFO, so heads carry each
+    /// tenant's earliest arrival).
+    fn build_stage(&mut self) -> Vec<Envelope> {
+        let mut stage = Vec::new();
+        while stage.len() < self.batch {
+            let mut best: Option<(Ps, u64, usize)> = None;
+            for (i, t) in self.tenants.iter().enumerate() {
+                if let Some(head) = t.queue.front() {
+                    let key = (head.arrival, head.seq, i);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((_, _, tenant)) = best else { break };
+            let env = self.tenants[tenant].queue.pop_front().expect("head exists");
+            stage.push(env);
+        }
+        stage
+    }
+
+    /// Precomputes write fingerprints for a staged block through the
+    /// multi-lane kernels, split across the worker threads. Pure
+    /// precomputation: bit-exact with what the scheme would compute, and
+    /// charged by the scheme exactly as if computed inline.
+    fn precompute_keys(&self, stage: &[Envelope]) -> Vec<Option<u64>> {
+        let mut keys = vec![None; stage.len()];
+        let Some(spec) = self.spec else { return keys };
+        if stage.len() < 2 {
+            return keys; // below any useful lane width; the scheme computes inline
+        }
+        let mut lines: Vec<[u8; 64]> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, env) in stage.iter().enumerate() {
+            if let Request::Write { line, .. } = env.request {
+                lines.push(*line.as_bytes());
+                slots.push(i);
+            }
+        }
+        if lines.is_empty() {
+            return keys;
+        }
+        let mut computed = vec![0u64; lines.len()];
+        if self.workers > 1 {
+            let chunk = lines.len().div_ceil(self.workers);
+            std::thread::scope(|scope| {
+                for (line_chunk, key_chunk) in lines.chunks(chunk).zip(computed.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(line_chunk.len());
+                        spec.compute_keys(line_chunk, &mut out);
+                        key_chunk.copy_from_slice(&out);
+                    });
+                }
+            });
+        } else {
+            let mut out = Vec::with_capacity(lines.len());
+            spec.compute_keys(&lines, &mut out);
+            computed.copy_from_slice(&out);
+        }
+        for (slot, key) in slots.into_iter().zip(computed) {
+            keys[slot] = Some(key);
+        }
+        keys
+    }
+
+    /// Applies one request against the shared scheme under the tenant's
+    /// namespace and key, advancing the simulated clock and recording the
+    /// tenant's stats.
+    fn apply(&mut self, env: Envelope, key: Option<u64>) -> (u32, Response) {
+        let tenant = env.tenant;
+        let start = env.arrival.max(self.clock);
+        self.scheme.set_active_tenant(tenant);
+        let (response, service_latency) = match env.request {
+            Request::Write { local, line } => {
+                let logical = ns::namespaced(tenant, local);
+                let result = self.scheme.write_prepared(start, logical, line, key);
+                self.clock = result.processing_done;
+                let state = &mut self.tenants[tenant as usize];
+                state.writes += 1;
+                if result.deduplicated {
+                    state.deduplicated += 1;
+                }
+                let end = start + result.latency;
+                (
+                    Response::Written {
+                        seq: env.seq,
+                        deduplicated: result.deduplicated,
+                        latency: end - env.arrival,
+                    },
+                    result.latency,
+                )
+            }
+            Request::Read { local } => {
+                let logical = ns::namespaced(tenant, local);
+                let result = self.scheme.read(start, logical);
+                self.clock = result.finish;
+                self.tenants[tenant as usize].reads += 1;
+                (
+                    Response::Data {
+                        seq: env.seq,
+                        latency: result.finish - env.arrival,
+                        line: result.data,
+                    },
+                    result.finish - start,
+                )
+            }
+        };
+        let state = &mut self.tenants[tenant as usize];
+        state.outstanding -= 1;
+        self.applied += 1;
+        self.service_total += service_latency;
+        let request_latency = match response {
+            Response::Written { latency, .. } | Response::Data { latency, .. } => latency,
+            Response::Rejected { .. } => unreachable!("apply never rejects"),
+        };
+        let names = state.names;
+        self.registry.counter_add(names.accesses, 1);
+        match env.request {
+            Request::Write { .. } => {
+                self.registry.counter_add(names.writes, 1);
+                if matches!(response, Response::Written { deduplicated: true, .. }) {
+                    self.registry.counter_add(names.deduplicated, 1);
+                }
+            }
+            Request::Read { .. } => self.registry.counter_add(names.reads, 1),
+        }
+        self.registry.histogram_record(names.latency, request_latency);
+        (tenant, response)
+    }
+
+    /// Stages and applies up to one batch of queued requests, returning
+    /// their responses in apply order. Used by the live front end; the
+    /// deterministic load path goes through [`Service::run_events`].
+    pub fn drain_stage(&mut self) -> Vec<(u32, Response)> {
+        let stage = self.build_stage();
+        let keys = self.precompute_keys(&stage);
+        stage
+            .into_iter()
+            .zip(keys)
+            .map(|(env, key)| self.apply(env, key))
+            .collect()
+    }
+
+    /// Drains every queued request.
+    pub fn drain(&mut self) -> Vec<(u32, Response)> {
+        let mut out = Vec::new();
+        while self.pending() > 0 {
+            out.extend(self.drain_stage());
+        }
+        out
+    }
+
+    /// Runs a complete pre-generated workload deterministically: events
+    /// are admitted in arrival order — interleaved with the applies that
+    /// make them due, so admission decisions see the same queue occupancy
+    /// at every batch size — and applied in global `(arrival, seq,
+    /// tenant)` order. Returns every response (including rejections).
+    pub fn run_events(&mut self, mut events: Vec<Envelope>) -> Vec<(u32, Response)> {
+        events.sort_by_key(|e| (e.arrival, e.seq, e.tenant));
+        let mut next = 0usize;
+        let mut out = Vec::with_capacity(events.len());
+        loop {
+            // Admit everything that has become due.
+            while next < events.len() && events[next].arrival <= self.clock {
+                let env = events[next];
+                next += 1;
+                if let Some(rejection) = self.admit(env) {
+                    out.push((env.tenant, rejection));
+                }
+            }
+            if self.pending() == 0 {
+                let Some(upcoming) = events.get(next) else { break };
+                // Idle until the next arrival.
+                self.clock = self.clock.max(upcoming.arrival);
+                continue;
+            }
+            let stage = self.build_stage();
+            let keys = self.precompute_keys(&stage);
+            for (env, key) in stage.into_iter().zip(keys) {
+                out.push(self.apply(env, key));
+                // Admissions interleave with applies so queue-full
+                // decisions are independent of the batch size.
+                while next < events.len() && events[next].arrival <= self.clock {
+                    let due = events[next];
+                    next += 1;
+                    if let Some(rejection) = self.admit(due) {
+                        out.push((due.tenant, rejection));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One tenant's stats snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a tenant id outside `0..tenant_count()`.
+    #[must_use]
+    pub fn tenant_summary(&self, tenant: u32) -> TenantSummary {
+        let state = &self.tenants[tenant as usize];
+        let (p50, p95, p99) = match self.registry.histogram(state.names.latency) {
+            Some(h) => (
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+            ),
+            None => (Ps::ZERO, Ps::ZERO, Ps::ZERO),
+        };
+        TenantSummary {
+            tenant,
+            offered: state.offered,
+            admitted: state.admitted,
+            rejected: state.rejected,
+            writes: state.writes,
+            reads: state.reads,
+            deduplicated: state.deduplicated,
+            p50,
+            p95,
+            p99,
+        }
+    }
+
+    /// The human-readable per-tenant stat line the smoke jobs grep:
+    /// `tenant 0: offered=… admitted=… rejected=… dedup_rate=… p50_ns=…`.
+    #[must_use]
+    pub fn stats_line(&self, tenant: u32) -> String {
+        let s = self.tenant_summary(tenant);
+        format!(
+            "tenant {}: offered={} admitted={} rejected={} writes={} reads={} \
+             dedup_rate={:.3} p50_ns={} p95_ns={} p99_ns={}",
+            s.tenant,
+            s.offered,
+            s.admitted,
+            s.rejected,
+            s.writes,
+            s.reads,
+            s.dedup_rate(),
+            s.p50.as_ns(),
+            s.p95.as_ns(),
+            s.p99.as_ns(),
+        )
+    }
+
+    /// Whole-service summary with the state digest.
+    #[must_use]
+    pub fn summary(&self) -> ServiceSummary {
+        ServiceSummary {
+            tenants: (0..self.tenant_count()).map(|t| self.tenant_summary(t)).collect(),
+            applied: self.applied,
+            sim_end: self.clock,
+            state_digest: self.state_digest(),
+        }
+    }
+
+    /// FNV-1a digest over the shared store's observable state: scheme
+    /// stats, device stats, metadata footprint, and the full per-tenant
+    /// registry export. Two runs with equal digests produced byte-identical
+    /// outcomes at this granularity.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(format!("{:?}", self.scheme.stats()).as_bytes());
+        eat(format!("{:?}", self.scheme.breakdown()).as_bytes());
+        eat(format!("{:?}", self.scheme.metadata_footprint()).as_bytes());
+        eat(format!("{:?}", self.scheme.nvmm().stats()).as_bytes());
+        eat(self.registry.to_json().as_bytes());
+        eat(&self.clock.as_ps().to_le_bytes());
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_trace::CacheLine;
+
+    fn write_env(tenant: u32, seq: u64, arrival: Ps, local: u64, fill: u8) -> Envelope {
+        Envelope {
+            tenant,
+            seq,
+            arrival,
+            request: Request::Write {
+                local,
+                line: CacheLine::from_fill(fill),
+            },
+        }
+    }
+
+    #[test]
+    fn cross_tenant_duplicates_collapse_in_the_shared_store() {
+        let mut service = Service::new(&ServiceConfig::default());
+        let events = vec![
+            write_env(0, 0, Ps::ZERO, 0x40, 0x7A),
+            write_env(1, 0, Ps::from_ns(1), 0x40, 0x7A),
+        ];
+        let responses = service.run_events(events);
+        assert_eq!(responses.len(), 2);
+        assert!(matches!(
+            responses[1].1,
+            Response::Written { deduplicated: true, .. }
+        ));
+        assert_eq!(service.scheme().nvmm().stats().data.writes, 1);
+    }
+
+    #[test]
+    fn reads_are_tenant_private() {
+        let mut service = Service::new(&ServiceConfig::default());
+        let mut events = vec![write_env(0, 0, Ps::ZERO, 0x40, 0x55)];
+        events.push(Envelope {
+            tenant: 1,
+            seq: 0,
+            arrival: Ps::from_ns(10),
+            request: Request::Read { local: 0x40 },
+        });
+        events.push(Envelope {
+            tenant: 0,
+            seq: 1,
+            arrival: Ps::from_ns(20),
+            request: Request::Read { local: 0x40 },
+        });
+        let responses = service.run_events(events);
+        // Tenant 1 never wrote 0x40 in *its* namespace: zero line.
+        let t1_read = responses
+            .iter()
+            .find(|(t, r)| *t == 1 && matches!(r, Response::Data { .. }))
+            .expect("tenant 1 read completed");
+        let Response::Data { line, .. } = t1_read.1 else { unreachable!() };
+        assert!(line.is_zero());
+        // Tenant 0 reads its own write back.
+        let t0_read = responses
+            .iter()
+            .find(|(t, r)| *t == 0 && matches!(r, Response::Data { .. }))
+            .expect("tenant 0 read completed");
+        let Response::Data { line, .. } = t0_read.1 else { unreachable!() };
+        assert_eq!(line, CacheLine::from_fill(0x55));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint_and_leaks_nothing() {
+        let config = ServiceConfig {
+            queue_depth: 4,
+            ..ServiceConfig::default()
+        };
+        let mut service = Service::new(&config);
+        // 12 simultaneous arrivals against a depth-4 queue: 4 admitted,
+        // 8 rejected (nothing drains at arrival time 0 until applies run).
+        let events: Vec<Envelope> = (0..12)
+            .map(|i| write_env(0, i, Ps::ZERO, 0x40 * i, i as u8))
+            .collect();
+        let responses = service.run_events(events);
+        let s = service.tenant_summary(0);
+        assert_eq!(s.offered, 12);
+        assert!(s.rejected > 0, "a depth-4 queue must reject a 12-burst");
+        assert_eq!(s.offered, s.admitted + s.rejected, "zero rejection leak");
+        let hints: Vec<Ps> = responses
+            .iter()
+            .filter_map(|(_, r)| match r {
+                Response::Rejected { retry_after, .. } => Some(*retry_after),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hints.len() as u64, s.rejected);
+        assert!(hints.iter().all(|h| *h > Ps::ZERO), "hints must be usable");
+    }
+
+    #[test]
+    fn round_robin_interleaves_simultaneous_tenants() {
+        let config = ServiceConfig {
+            batch: 8,
+            ..ServiceConfig::default()
+        };
+        let mut service = Service::new(&config);
+        let mut events = Vec::new();
+        for seq in 0..3u64 {
+            for tenant in 0..3u32 {
+                events.push(write_env(tenant, seq, Ps::ZERO, 0x40 * seq, seq as u8));
+            }
+        }
+        let responses = service.run_events(events);
+        let applied_order: Vec<u32> = responses
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::Written { .. }))
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(applied_order, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn registry_exports_per_tenant_metrics() {
+        let mut service = Service::new(&ServiceConfig::default());
+        let events = vec![
+            write_env(0, 0, Ps::ZERO, 0x40, 1),
+            write_env(2, 0, Ps::ZERO, 0x40, 1),
+        ];
+        service.run_events(events);
+        assert_eq!(service.registry().counter("tenant0/writes"), Some(1));
+        assert_eq!(service.registry().counter("tenant2/writes"), Some(1));
+        assert_eq!(service.registry().counter("tenant2/deduplicated"), Some(1));
+        let json = service.metrics_json();
+        assert!(json.contains("tenant0/request_latency"), "{json}");
+        let line = service.stats_line(2);
+        assert!(line.contains("dedup_rate=1.000"), "{line}");
+    }
+
+    #[test]
+    fn stats_lines_cover_every_tenant() {
+        let service = Service::new(&ServiceConfig::default());
+        for t in 0..service.tenant_count() {
+            assert!(service.stats_line(t).starts_with(&format!("tenant {t}:")));
+        }
+    }
+}

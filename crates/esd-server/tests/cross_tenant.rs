@@ -1,0 +1,154 @@
+//! Cross-tenant correctness of the multi-tenant service: identical
+//! plaintext deduplicates in the shared store while per-tenant keystreams
+//! never coincide (no key leakage), and the outcome — per-tenant stats,
+//! responses, and the final shared-store state — is byte-identical across
+//! server worker counts and fingerprint batch sizes.
+
+use esd_crypto::{derive_tenant_key, CmeEngine};
+use esd_server::{run_load, Envelope, LoadSpec, Request, Response, Service, ServiceConfig};
+use esd_sim::Ps;
+use esd_trace::CacheLine;
+
+#[test]
+fn identical_plaintext_dedups_across_tenants_in_the_shared_store() {
+    let mut service = Service::new(&ServiceConfig::default());
+    let line = CacheLine::from_fill(0xC3);
+    let events: Vec<Envelope> = (0..4u32)
+        .map(|tenant| Envelope {
+            tenant,
+            seq: 0,
+            arrival: Ps::from_ns(u64::from(tenant)),
+            request: Request::Write { local: 0x1000, line },
+        })
+        .collect();
+    let responses = service.run_events(events);
+    let dedups = responses
+        .iter()
+        .filter(|(_, r)| matches!(r, Response::Written { deduplicated: true, .. }))
+        .count();
+    assert_eq!(dedups, 3, "three of four identical writes must dedup");
+    // One stored line serves all four tenants.
+    assert_eq!(service.scheme().nvmm().stats().data.writes, 1);
+    // ... and every tenant still reads its own copy back.
+    let reads: Vec<Envelope> = (0..4u32)
+        .map(|tenant| Envelope {
+            tenant,
+            seq: 1,
+            arrival: Ps::from_us(1),
+            request: Request::Read { local: 0x1000 },
+        })
+        .collect();
+    for (_, r) in service.run_events(reads) {
+        let Response::Data { line: got, .. } = r else {
+            panic!("read must complete, got {r:?}");
+        };
+        assert_eq!(got, line, "every tenant reads the shared line back");
+    }
+}
+
+#[test]
+fn tenant_keystreams_never_coincide() {
+    let master = [0x4D; 16];
+    // Derived CME keys are pairwise distinct and never equal the master.
+    let keys: Vec<[u8; 16]> = (0..8u32).map(|t| derive_tenant_key(&master, t)).collect();
+    for (i, a) in keys.iter().enumerate() {
+        assert_ne!(*a, master, "tenant {i} key must differ from the master");
+        for (j, b) in keys.iter().enumerate().skip(i + 1) {
+            assert_ne!(a, b, "tenants {i} and {j} must not share a key");
+        }
+    }
+    // Same plaintext, same device address, same counter — the on-device
+    // ciphertext still differs per tenant, so observing one tenant's
+    // stored bytes reveals nothing about another's keystream.
+    let plain = [0xA5u8; 64];
+    let ciphertexts: Vec<[u8; 64]> = (0..3u32)
+        .map(|tenant| {
+            let mut cme = CmeEngine::new(master);
+            cme.enable_tenancy(master);
+            cme.set_active_tenant(tenant);
+            cme.encrypt_line(0x40, &plain)
+        })
+        .collect();
+    for i in 0..ciphertexts.len() {
+        for j in i + 1..ciphertexts.len() {
+            assert_ne!(
+                ciphertexts[i], ciphertexts[j],
+                "tenants {i} and {j} produced identical ciphertext"
+            );
+        }
+    }
+}
+
+/// A load shape that exercises every code path whose order could depend on
+/// batching: duplicate-heavy writes, reads, and enough backlog against a
+/// small queue to force rejections.
+fn contended_spec(tenants: u32) -> LoadSpec {
+    LoadSpec {
+        tenants,
+        qps: 50_000_000, // 20 ns between arrivals: deliberately over capacity
+        requests_per_tenant: 600,
+        ..LoadSpec::default()
+    }
+}
+
+fn run_with(batch: usize, workers: usize) -> (esd_server::ServiceSummary, Vec<(u32, Response)>) {
+    let config = ServiceConfig {
+        tenants: 4,
+        queue_depth: 8,
+        batch,
+        workers,
+        ..ServiceConfig::default()
+    };
+    let mut service = Service::new(&config);
+    let mut responses = service.run_events(contended_spec(4).events());
+    // Response order may legally differ across batch sizes (rejections
+    // interleave with applies at different points); the per-request
+    // outcome may not.
+    responses.sort_by_key(|(tenant, r)| (*tenant, r.seq()));
+    (service.summary(), responses)
+}
+
+#[test]
+fn outcome_is_byte_identical_across_worker_counts_and_batch_sizes() {
+    let (reference_summary, reference_responses) = run_with(1, 1);
+    let rejected: u64 = reference_summary.tenants.iter().map(|t| t.rejected).sum();
+    assert!(
+        rejected > 0,
+        "the contended load must actually exercise rejection"
+    );
+    for (batch, workers) in [(4, 1), (16, 2), (64, 4), (16, 8)] {
+        let (summary, responses) = run_with(batch, workers);
+        assert_eq!(
+            summary, reference_summary,
+            "summary diverged at batch={batch} workers={workers}"
+        );
+        assert_eq!(
+            responses, reference_responses,
+            "responses diverged at batch={batch} workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn rejections_never_leak_requests() {
+    let mut service = Service::new(&ServiceConfig {
+        tenants: 4,
+        queue_depth: 8,
+        ..ServiceConfig::default()
+    });
+    let report = run_load(&mut service, &contended_spec(4));
+    for t in &report.summary.tenants {
+        assert_eq!(
+            t.offered,
+            t.admitted + t.rejected,
+            "tenant {} leaked a request",
+            t.tenant
+        );
+        assert_eq!(
+            t.admitted,
+            t.writes + t.reads,
+            "tenant {} admitted a request that never applied",
+            t.tenant
+        );
+    }
+}
